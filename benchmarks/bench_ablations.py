@@ -1,0 +1,143 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+group size, checkpoint interval, encoding operator, encode layout."""
+
+from repro.analysis import (
+    ablation_encoding_op,
+    ablation_group_size,
+    ablation_incremental,
+    ablation_interval,
+    ablation_stripe_vs_single_root,
+)
+from repro.analysis.ablations import (
+    render_encoding_op,
+    render_group_size,
+    render_incremental,
+    render_interval,
+    render_stripe_vs_single,
+)
+
+
+def bench_ablation_group_size(benchmark, show):
+    rows = benchmark(ablation_group_size, group_sizes=(2, 4, 8, 16, 32))
+    show(render_group_size(rows))
+    mems = [r["available_mem_pct"] for r in rows]
+    times = [r["encode_s"] for r in rows]
+    rel = [r["p_system_ok"] for r in rows]
+    assert mems == sorted(mems)
+    assert times == sorted(times)
+    assert rel == sorted(rel, reverse=True)
+    # the paper picks 16: most of the memory benefit is already banked
+    g16 = next(r for r in rows if r["group_size"] == 16)
+    g32 = next(r for r in rows if r["group_size"] == 32)
+    assert g32["available_mem_pct"] - g16["available_mem_pct"] < 2.0
+
+
+def bench_ablation_interval(benchmark, show):
+    rows = benchmark(ablation_interval)
+    show(render_interval(rows))
+    best = min(rows, key=lambda r: r["expected_runtime_s"])
+    young = next(r for r in rows if r["is_young_optimum"])
+    assert young["expected_runtime_s"] <= best["expected_runtime_s"] * 1.02
+
+
+def bench_ablation_encoding_op(benchmark, show):
+    out = benchmark.pedantic(
+        ablation_encoding_op,
+        kwargs=dict(data_words=3 * 2048, group_size=4),
+        iterations=1,
+        rounds=1,
+    )
+    show(render_encoding_op(out))
+    assert out["xor"]["max_error"] == 0.0  # bit exact
+    assert out["sum"]["max_error"] < 1e-9  # within ulps
+
+
+def bench_ablation_stripe_layout(benchmark, show):
+    rows = benchmark(ablation_stripe_vs_single_root)
+    show(render_stripe_vs_single(rows))
+    for r in rows:
+        assert r["single_root_s"] > 2 * r["stripe_s"]
+
+
+def bench_ablation_rack_mapping(benchmark, show):
+    """Paper §3.3: neighbour-preferring mappings are fast but a rack loss
+    can take several of a group's stripes at once; spreading across racks
+    buys rack tolerance for inter-switch bandwidth.  (The paper prioritizes
+    performance because rack failures are 'minor'; this quantifies what
+    that choice costs and saves.)"""
+    from repro.analysis import ablation_rack_mapping
+    from repro.analysis.ablations import render_rack_mapping
+
+    rows = benchmark(ablation_rack_mapping)
+    show(render_rack_mapping(rows))
+    by = {r["strategy"]: r for r in rows}
+    # the performance-priority mapping is fastest but rack-exposed
+    assert by["block"]["encode_s"] < by["rack-spread"]["encode_s"]
+    assert not by["block"]["survives_rack_loss"]
+    # the reliability-priority mapping caps exposure at one stripe per rack
+    assert by["rack-spread"]["survives_rack_loss"]
+    assert by["rack-spread"]["max_group_members_per_rack"] == 1
+
+
+def bench_ablation_incremental(benchmark, show):
+    """Paper §1: 'incremental checkpoint methods are not efficient for
+    this problem' — HPL dirties its whole footprint each interval."""
+    rows = benchmark.pedantic(
+        ablation_incremental,
+        kwargs=dict(dirty_strides=(1, 2, 8)),
+        iterations=1,
+        rounds=1,
+    )
+    show(render_incremental(rows))
+    full = next(r for r in rows if r["dirty_fraction"] == 1.0)
+    sparse = min(rows, key=lambda r: r["dirty_fraction"])
+    # full-footprint: incremental loses on BOTH time and memory
+    assert full["incremental_ckpt_s"] > full["self_ckpt_s"]
+    assert full["incremental_overhead_bytes"] > full["self_overhead_bytes"]
+    # sparse footprint: incremental wins on checkpoint time
+    assert sparse["incremental_ckpt_s"] < sparse["self_ckpt_s"]
+
+
+def bench_ablation_double_parity(benchmark, show):
+    """The RAID-6 extension (paper §2.1): memory cost vs failure tolerance
+    of self vs self-rs groups."""
+    from repro.ckpt import available_fraction_self, available_fraction_self_rs
+    from repro.util import render_table
+
+    def sweep(groups=(4, 8, 16, 32)):
+        return [
+            {
+                "group_size": g,
+                "self_pct": 100 * available_fraction_self(g),
+                "self_rs_pct": 100 * available_fraction_self_rs(g),
+                "self_tolerates": f"1 per {g}",
+                "rs_tolerates": f"any 2 per {g}",
+            }
+            for g in groups
+        ]
+
+    rows = benchmark(sweep)
+    show(
+        render_table(
+            ["group", "self mem %", "self-rs mem %", "self tolerates", "self-rs tolerates"],
+            [
+                [
+                    r["group_size"],
+                    f"{r['self_pct']:.1f}",
+                    f"{r['self_rs_pct']:.1f}",
+                    r["self_tolerates"],
+                    r["rs_tolerates"],
+                ]
+                for r in rows
+            ],
+            title="Ablation — double-parity (RAID-6) self-checkpoint",
+        )
+    )
+    for r in rows:
+        # RS costs one extra stripe of memory...
+        assert r["self_rs_pct"] < r["self_pct"]
+        # ...and equals single-parity at half the group size
+        g = r["group_size"]
+        from repro.ckpt import available_fraction_self as afs
+
+        assert abs(r["self_rs_pct"] / 100 - afs(g // 2)) < 1e-12

@@ -1,0 +1,33 @@
+"""Endurance bench: the full stack under an MTBF failure storm, with the
+first-order runtime model as the yardstick (extension beyond the paper's
+single-failure validation)."""
+
+from repro.analysis.endurance import endurance_run
+from repro.util import render_table
+
+
+def bench_endurance_storm(benchmark, show):
+    report = benchmark.pedantic(
+        endurance_run,
+        kwargs=dict(
+            iters=40, work_per_iter_s=10.0, mtbf_node_s=3000.0, seed=11
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    show(
+        render_table(
+            ["metric", "value"],
+            [
+                ["completed", report.completed],
+                ["final state exact", report.final_state_ok],
+                ["restarts", report.n_restarts],
+                ["failures injected", report.failures_injected],
+                ["fault-free work (virtual s)", f"{report.work_virtual_s:.0f}"],
+                ["total with failures (virtual s)", f"{report.total_virtual_s:.0f}"],
+                ["first-order model (s)", f"{report.model_expected_s:.0f}"],
+            ],
+            title="Endurance — self-checkpoint under an MTBF failure storm",
+        )
+    )
+    assert report.completed and report.final_state_ok

@@ -1,0 +1,18 @@
+"""Fig. 10 — time per phase of a work-fail-detect-restart cycle."""
+
+from repro.analysis import fig10_restart_cycle
+from repro.analysis.experiments import render_fig10
+
+
+def bench_fig10(benchmark, show):
+    timing = benchmark.pedantic(
+        fig10_restart_cycle, kwargs=dict(live=True), iterations=1, rounds=1
+    )
+    show(render_fig10(timing))
+    # Fig. 10's measured phases on Tianhe-2: detect 63, replace 10,
+    # restart 9, checkpoint 16, recover 20 (a little longer than ckpt)
+    assert timing.detect_s == 63.0
+    assert timing.replace_s == 10.0
+    assert timing.restart_s == 9.0
+    assert timing.checkpoint_s < timing.recover_s < 3 * timing.checkpoint_s
+    assert 2.0 < timing.checkpoint_s < 20.0

@@ -1,0 +1,20 @@
+"""Fig. 11 — original HPL vs SKT-HPL efficiency on Tianhe-1A / Tianhe-2."""
+
+from repro.analysis import fig11_skt_efficiency
+from repro.analysis.experiments import render_fig11
+
+
+def bench_fig11(benchmark, show):
+    rows = benchmark(fig11_skt_efficiency)
+    show(render_fig11(rows))
+    by_machine = {r["machine"]: r for r in rows}
+    # section 6.4: SKT-HPL reaches 97.81% of original on TH-1A (47% of
+    # memory) and 95.79% on TH-2 (44%); our model must land in that band
+    # and preserve the machine ordering
+    th1a = by_machine["Tianhe-1A"]["skt_vs_original"]
+    th2 = by_machine["Tianhe-2"]["skt_vs_original"]
+    assert th1a > th2
+    assert 93.0 < th2 < 99.0
+    assert 94.0 < th1a < 99.5
+    assert abs(by_machine["Tianhe-1A"]["memory_fraction"] - 47.0) < 0.5
+    assert abs(by_machine["Tianhe-2"]["memory_fraction"] - 44.0) < 0.5

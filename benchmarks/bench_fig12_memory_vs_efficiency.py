@@ -1,0 +1,23 @@
+"""Fig. 12 — normalized efficiency vs memory fraction: model vs live runs."""
+
+from repro.analysis import fig12_memory_vs_efficiency
+from repro.analysis.experiments import render_fig12
+
+
+def bench_fig12(benchmark, show):
+    points = benchmark.pedantic(
+        fig12_memory_vs_efficiency,
+        kwargs=dict(fractions=(0.125, 0.2, 0.3, 0.44, 0.5)),
+        iterations=1,
+        rounds=1,
+    )
+    show(render_fig12(points))
+    effs = [p.measured_norm_eff for p in points]
+    assert effs == sorted(effs)  # more memory, more efficiency
+    for p in points:
+        # "our efficiency models can fit the test results very well"
+        assert abs(p.model_norm_eff - p.measured_norm_eff) < 0.08
+    # the self-vs-double comparison of section 6.5: 44% memory beats 30%
+    at_double = min(points, key=lambda p: abs(p.memory_fraction - 0.3))
+    at_self = min(points, key=lambda p: abs(p.memory_fraction - 0.44))
+    assert at_self.measured_norm_eff > at_double.measured_norm_eff + 0.02

@@ -1,0 +1,46 @@
+"""Fig. 13 — encoding time and checkpoint size vs group size, per machine."""
+
+import numpy as np
+
+from repro.analysis import fig13_encoding_cost
+from repro.analysis.experiments import render_fig13
+from repro.ckpt import GroupEncoder
+from repro.sim import Cluster, Job
+
+
+def bench_fig13_model(benchmark, show):
+    rows = benchmark(fig13_encoding_cost, group_sizes=(4, 8, 16))
+    show(render_fig13(rows))
+    th1a = {r["group_size"]: r for r in rows if r["machine"] == "Tianhe-1A"}
+    th2 = {r["group_size"]: r for r in rows if r["machine"] == "Tianhe-2"}
+    for g in (4, 8, 16):
+        # Tianhe-2's checkpoints are smaller yet encode slower (port sharing)
+        assert th2[g]["ckpt_bytes"] < th1a[g]["ckpt_bytes"]
+        assert th2[g]["encode_s"] > th1a[g]["encode_s"]
+    for m in (th1a, th2):
+        assert m[4]["encode_s"] < m[8]["encode_s"] < m[16]["encode_s"]
+        assert m[16]["encode_s"] < 2 * m[4]["encode_s"]  # grows slowly
+
+
+def bench_fig13_live_encode(benchmark, show):
+    """Live group encode on the simulator: wall time of the actual stripe
+    arithmetic (the numpy XOR path a real deployment would run)."""
+
+    def encode_once(group_size=8, words=32768):
+        def main(ctx):
+            enc = GroupEncoder(ctx.world)
+            rng = np.random.default_rng(ctx.world.rank)
+            flat = rng.integers(
+                0, 256, 8 * (group_size - 1) * words, dtype=np.uint8
+            )
+            return enc.encode(flat).seconds
+
+        cluster = Cluster(group_size)
+        res = Job(cluster, main, group_size, procs_per_node=1).run()
+        assert res.completed
+        return res.rank_results[0]
+
+    modeled = benchmark(encode_once)
+    show(f"live encode of 8x{8*7*32768} bytes: modeled virtual time "
+         f"{modeled * 1e3:.3f} ms")
+    assert modeled > 0

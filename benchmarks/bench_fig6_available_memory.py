@@ -1,0 +1,16 @@
+"""Fig. 6 — available memory of single/self/double vs group size."""
+
+from repro.analysis import fig6_available_memory
+from repro.analysis.experiments import render_fig6
+
+
+def bench_fig6(benchmark, show):
+    rows = benchmark(fig6_available_memory, group_sizes=(2, 3, 4, 8, 16, 32))
+    show(render_fig6(rows))
+    for r in rows:
+        # paper ordering at every group size; self approaches 50 from below
+        assert r["single"] > r["self"] > r["double"]
+        assert r["self"] < 50.0
+    by_g = {r["group_size"]: r for r in rows}
+    assert abs(by_g[16]["self"] - 46.9) < 0.1  # the paper's "47%"
+    assert abs(by_g[16]["double"] - 31.9) < 0.1

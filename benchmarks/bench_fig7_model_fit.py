@@ -1,0 +1,16 @@
+"""Fig. 7 — the efficiency model fitted to live simulated-HPL runs."""
+
+from repro.analysis import fig7_model_fit
+from repro.analysis.experiments import render_fig7
+
+
+def bench_fig7(benchmark, show):
+    fit = benchmark.pedantic(
+        fig7_model_fit,
+        kwargs=dict(sizes=(96, 128, 192, 256, 384)),
+        iterations=1,
+        rounds=1,
+    )
+    show(render_fig7(fit))
+    assert fit.r_squared > 0.9  # "fits well with real experimental data"
+    assert fit.measured == sorted(fit.measured)  # efficiency rises with N

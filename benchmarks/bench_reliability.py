@@ -1,0 +1,18 @@
+"""Reliability projection bench: the paper's §1 motivation quantified —
+fault-free completion probability collapses with scale while the grouped
+in-memory checkpoint keeps per-interval survival near certainty."""
+
+from repro.models.reliability import render_scale_sweep, scale_sweep
+
+
+def bench_reliability_projection(benchmark, show):
+    points = benchmark(scale_sweep)
+    show(render_scale_sweep(points))
+    assert points[-1].n_nodes == 65536
+    # fault-free exascale-era runs are hopeless...
+    assert points[-1].p_fault_free_run < 0.01
+    # ...while one checkpoint interval survives with near-certainty
+    assert points[-1].p_interval_ok_grouped > 0.95
+    # trends monotone with scale
+    ffs = [p.p_fault_free_run for p in points]
+    assert ffs == sorted(ffs, reverse=True)

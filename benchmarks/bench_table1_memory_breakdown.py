@@ -1,0 +1,21 @@
+"""Table 1 — per-part memory usage of the self-checkpoint mechanism."""
+
+from repro.analysis import table1_memory_breakdown
+from repro.analysis.experiments import render_table1
+from repro.util import GiB
+
+
+def bench_table1(benchmark, show):
+    row = benchmark(table1_memory_breakdown, workspace_bytes=GiB, group_size=16)
+    show(render_table1(row))
+    # Table 1: total = 2MN/(N-1); checksums = M/(N-1)
+    assert row["total"] == 2 * GiB * 16 // 15
+    assert row["C"] == row["D"] == GiB // 15
+    assert 0.46 < row["available_fraction"] < 0.47
+
+
+def bench_table1_group8(benchmark, show):
+    """Table 3 uses group size 8: available fraction 43.75%."""
+    row = benchmark(table1_memory_breakdown, workspace_bytes=4 * GiB, group_size=8)
+    show(render_table1(row))
+    assert abs(row["available_fraction"] - 7 / 16) < 1e-9

@@ -1,0 +1,24 @@
+"""Table 2 — node configurations (the evaluation's input data, printed so
+every table in the paper is literally regenerable)."""
+
+from repro.analysis.experiments import render_table2, table2_node_configs
+from repro.util import GiB
+
+
+def bench_table2(benchmark, show):
+    rows = benchmark(table2_node_configs)
+    show(render_table2(rows))
+    by = {r["machine"]: r for r in rows}
+    th1a, th2 = by["Tianhe-1A"], by["Tianhe-2"]
+    # Table 2 verbatim
+    assert th1a["cores"] == 12 and th2["cores"] == 24
+    assert th1a["peak_gflops"] == 140.0
+    assert abs(th2["peak_gflops"] - 422.4) < 0.1
+    assert th1a["mem_bytes"] == 48 * GiB and th2["mem_bytes"] == 64 * GiB
+    assert th1a["p2p_bw_GBps"] == 6.9 and th2["p2p_bw_GBps"] == 7.1
+    # the §6.6 port-sharing observation behind Fig. 13
+    assert th2["procs_per_port"] == 2 * th1a["procs_per_port"]
+    # and Table 2's memory-per-core remark
+    assert (
+        th1a["mem_bytes"] / th1a["cores"] > th2["mem_bytes"] / th2["cores"]
+    )

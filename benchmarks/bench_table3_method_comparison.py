@@ -1,0 +1,47 @@
+"""Table 3 — the six-way fault-tolerant HPL comparison (the main table).
+
+Performance columns are model-derived at the paper's 128-rank / 4 GB-per-
+process scale; the power-off column is measured live (one fail/restart
+cycle per method on the simulator).
+"""
+
+import pytest
+
+from repro.analysis import table3_method_comparison
+from repro.analysis.experiments import render_table3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table3_method_comparison()
+
+
+def bench_table3(benchmark, show, rows):
+    result = benchmark.pedantic(
+        table3_method_comparison,
+        kwargs=dict(run_live_checks=False),  # timing loop skips live runs
+        iterations=1,
+        rounds=3,
+    )
+    assert len(result) == 6
+    show(render_table3(rows))
+
+    eff = {r.method: r.normalized_efficiency for r in rows}
+    mem = {r.method: r.available_mem_gb for r in rows}
+    survive = {r.method: r.survives_poweroff for r in rows}
+
+    # the paper's ordering: SKT > SCR > BLCR+SSD > ABFT > BLCR+HDD
+    assert (
+        eff["SKT-HPL"]
+        > eff["SCR+Memory"]
+        > eff["BLCR+SSD"]
+        > eff["ABFT"]
+        > eff["BLCR+HDD"]
+    )
+    # headline numbers: >94% of original, ~43% more memory than SCR
+    assert eff["SKT-HPL"] > 0.94
+    assert mem["SKT-HPL"] / mem["SCR+Memory"] > 1.4
+    # survival column matches the paper exactly
+    assert [survive[m] for m in (
+        "Original HPL", "ABFT", "BLCR+HDD", "BLCR+SSD", "SCR+Memory", "SKT-HPL"
+    )] == [False, False, True, True, True, True]

@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper: it
+runs the corresponding driver under ``pytest-benchmark`` (so the
+regeneration cost is tracked run-to-run) and prints the same rows/series
+the paper reports, with shape assertions inline.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # benchmarks are ordered by experiment id for readable output
+    items.sort(key=lambda it: it.module.__name__)
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table under -s / captured otherwise."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Two nodes die at the same instant — the RAID-6 extension shrugs it off.
+
+The paper's XOR-based self-checkpoint tolerates one loss per encoding
+group (§2.1 suggests RAID-6/Reed-Solomon "to tolerate more node
+failures").  This example runs SKT-HPL once with the standard XOR scheme
+and once with the double-parity Reed-Solomon variant (`method="self-rs"`),
+powering off TWO nodes of the same group simultaneously mid-checkpoint:
+
+* XOR: the restart finds two members missing and reports the state
+  unrecoverable — honest failure;
+* RS:  both members are reconstructed from the surviving stripes and the
+  (P, Q) parity pair, the run resumes, and HPL verification passes.
+
+Run:  python examples/double_failure_raid6.py
+"""
+
+import numpy as np
+
+from repro.hpl import (
+    HPLConfig,
+    JobDaemon,
+    RestartPolicy,
+    SKTConfig,
+    skt_hpl_main,
+)
+from repro.hpl.matgen import dense_matrix, dense_rhs
+from repro.sim import Cluster, FailurePlan, PhaseTrigger
+
+CFG = HPLConfig(n=96, nb=8, p=2, q=4)  # 8 ranks, one group of 8
+
+
+def run(method):
+    scfg = SKTConfig(hpl=CFG, method=method, group_size=8, interval_panels=3)
+    cluster = Cluster(8, n_spares=4)
+    plan = FailurePlan(
+        [
+            PhaseTrigger(
+                node_id=2, phase="ckpt.flush", occurrence=2, extra_nodes=(5,)
+            )
+        ]
+    )
+    daemon = JobDaemon(
+        cluster,
+        skt_hpl_main,
+        CFG.n_ranks,
+        args=(scfg,),
+        procs_per_node=1,
+        failure_plan=plan,
+        policy=RestartPolicy(max_restarts=2),
+    )
+    return daemon.run()
+
+
+def main():
+    print("== XOR self-checkpoint (tolerates 1 loss per group) ==")
+    report = run("self")
+    print(f"completed: {report.completed}  reason: {report.gave_up_reason}")
+    assert not report.completed
+
+    print("\n== Reed-Solomon self-checkpoint (tolerates any 2 per group) ==")
+    report = run("self-rs")
+    print(f"completed: {report.completed} after {report.n_restarts} restart(s)")
+    r0 = report.result.rank_results[0]
+    print(f"restored: {r0.restored} (source={r0.restore_source}, "
+          f"panel {r0.restored_panel}); verification "
+          f"{'PASSED' if r0.hpl.passed else 'FAILED'}")
+    x_ref = np.linalg.solve(dense_matrix(CFG), dense_rhs(CFG))
+    err = float(np.max(np.abs(r0.hpl.x - x_ref)))
+    print(f"max |x - x_serial| = {err:.3e}")
+    assert report.completed and r0.hpl.passed and err < 1e-8
+    print("\nboth simultaneously-lost nodes were reconstructed; the "
+          "memory cost is one extra parity stripe per rank.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""SKT-HPL: the paper's power-off validation (section 6.3) in miniature.
+
+Runs the distributed HPL benchmark under the self-checkpoint mechanism,
+powers a node off in the middle of the elimination loop, and lets the
+master daemon detect the failure, swap in a spare, restart, and recover —
+then verifies the solution against HPL's residual test and a serial
+reference solve.
+
+Run:  python examples/fault_tolerant_hpl.py
+"""
+
+import numpy as np
+
+from repro.hpl import (
+    HPLConfig,
+    JobDaemon,
+    RestartPolicy,
+    SKTConfig,
+    skt_hpl_main,
+)
+from repro.hpl.matgen import dense_matrix, dense_rhs
+from repro.sim import Cluster, FailurePlan, PhaseTrigger
+
+
+def main():
+    cfg = HPLConfig(n=128, nb=8, p=2, q=4)  # 8 ranks, 16 panels
+    scfg = SKTConfig(hpl=cfg, method="self", group_size=4, interval_panels=4)
+    print(f"HPL: n={cfg.n}, nb={cfg.nb}, grid {cfg.p}x{cfg.q}, "
+          f"{cfg.n_blocks} panels, checkpoint every {scfg.interval_panels}")
+
+    cluster = Cluster(8, n_spares=2)
+    plan = FailurePlan(
+        [PhaseTrigger(node_id=5, phase="ckpt.flush", occurrence=2)]
+    )
+    daemon = JobDaemon(
+        cluster,
+        skt_hpl_main,
+        cfg.n_ranks,
+        args=(scfg,),
+        procs_per_node=1,
+        failure_plan=plan,
+        policy=RestartPolicy(detect_s=63.0, replace_s=10.0, restart_s=9.0),
+    )
+    report = daemon.run()
+
+    print(f"\ncompleted: {report.completed} after {report.n_restarts} restart(s)")
+    for i, cycle in enumerate(report.cycles):
+        print(
+            f"  cycle {i}: worked {cycle.work_s:.1f}s (virtual), lost nodes "
+            f"{cycle.failed_nodes}, replaced {cycle.replacements}, "
+            f"downtime {cycle.detect_s + cycle.replace_s + cycle.restart_s:.0f}s"
+        )
+
+    r0 = report.result.rank_results[0]
+    print(f"\nrestored from checkpoint: {r0.restored} "
+          f"(source={r0.restore_source}, resumed at panel {r0.restored_panel})")
+    print(f"HPL residual check: {r0.hpl.residual:.3e} "
+          f"({'PASSED' if r0.hpl.passed else 'FAILED'})")
+
+    x_ref = np.linalg.solve(dense_matrix(cfg), dense_rhs(cfg))
+    err = float(np.max(np.abs(r0.hpl.x - x_ref)))
+    print(f"max |x - x_serial| = {err:.3e}")
+    assert report.completed and r0.hpl.passed and err < 1e-8
+    print("\nSKT-HPL tolerated a permanent node loss and passed verification.")
+
+
+if __name__ == "__main__":
+    main()

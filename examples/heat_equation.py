@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fault-tolerant 1-D heat diffusion: a halo-exchange stencil workload.
+
+HPL is the paper's showcase, but self-checkpoint is "a general method and
+not tied to any specified application" (section 6.1).  This example
+protects a classic domain-decomposed Jacobi heat solver: each rank owns a
+strip of the rod, exchanges boundary cells with its neighbours every step,
+and checkpoints periodically.  A node is powered off mid-run; the restarted
+job recovers and the final temperature field matches the fault-free run
+bit for bit (XOR encoding is exact).
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+
+from repro.ckpt import CheckpointManager
+from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger
+
+N_RANKS = 8
+CELLS_PER_RANK = 256
+STEPS = 60
+CHECKPOINT_EVERY = 20
+ALPHA = 0.4  # diffusion number (stable: <= 0.5)
+
+
+def heat_app(ctx):
+    comm = ctx.world
+    rank, size = comm.rank, comm.size
+    mgr = CheckpointManager(ctx, comm, group_size=4, method="self", prefix="heat")
+    u = mgr.alloc("u", CELLS_PER_RANK)
+    mgr.commit()
+
+    report = mgr.try_restore()
+    start = report.local["step"] if report else 0
+    if start == 0:
+        # initial condition: a hot spike in the middle of the global rod
+        globals_ = np.arange(rank * CELLS_PER_RANK, (rank + 1) * CELLS_PER_RANK)
+        mid = N_RANKS * CELLS_PER_RANK // 2
+        u[:] = 100.0 * np.exp(-((globals_ - mid) ** 2) / 500.0)
+
+    for step in range(start, STEPS):
+        # halo exchange with neighbours (fixed 0-temperature walls outside)
+        left = comm.sendrecv(
+            float(u[0]), dest=max(rank - 1, 0), source=max(rank - 1, 0),
+            sendtag=1, recvtag=2,
+        ) if rank > 0 else 0.0
+        right = comm.sendrecv(
+            float(u[-1]), dest=min(rank + 1, size - 1),
+            source=min(rank + 1, size - 1), sendtag=2, recvtag=1,
+        ) if rank < size - 1 else 0.0
+
+        padded = np.concatenate(([left], u, [right]))
+        u[:] = u + ALPHA * (padded[:-2] - 2 * u + padded[2:])
+        ctx.compute(5.0 * CELLS_PER_RANK)
+
+        if (step + 1) % CHECKPOINT_EVERY == 0 and step + 1 < STEPS:
+            mgr.local["step"] = step + 1
+            mgr.checkpoint()
+
+    return u.copy()
+
+
+def run(failure_plan=None, cluster=None, ranklist=None):
+    cluster = cluster or Cluster(N_RANKS, n_spares=1)
+    job = Job(
+        cluster,
+        heat_app,
+        N_RANKS,
+        procs_per_node=1,
+        failure_plan=failure_plan,
+        ranklist=ranklist,
+    )
+    return cluster, job, job.run()
+
+
+def main():
+    print("== fault-free reference run ==")
+    _, _, ref = run()
+    assert ref.completed
+    total_heat = sum(float(np.sum(ref.rank_results[r])) for r in range(N_RANKS))
+    print(f"final total heat: {total_heat:.4f}")
+
+    print("\n== power a node off during the 2nd checkpoint ==")
+    plan = FailurePlan([PhaseTrigger(node_id=2, phase="ckpt.encode", occurrence=2)])
+    cluster, job, crashed = run(failure_plan=plan)
+    print(f"aborted: {crashed.aborted}, failed nodes: {crashed.failed_nodes}")
+
+    replacements = cluster.replace_dead()
+    ranklist = [replacements.get(n, n) for n in job.ranklist]
+    _, _, rerun = run(cluster=cluster, ranklist=ranklist)
+    print(f"restarted run completed: {rerun.completed}")
+
+    for r in range(N_RANKS):
+        np.testing.assert_array_equal(rerun.rank_results[r], ref.rank_results[r])
+    print("\nrecovered temperature field is bit-identical to the "
+          "fault-free run on every rank.")
+
+
+if __name__ == "__main__":
+    main()

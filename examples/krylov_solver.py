@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fault-tolerant conjugate gradients: resuming mid-Krylov-iteration.
+
+Self-checkpoint is application-agnostic (paper §6.1); this example protects
+a distributed CG solve of a 2-D Laplacian system — the iterative-method
+shape the ABFT literature targets (paper refs [7, 8]) — and shows that a
+node power-off mid-solve resumes the *exact* Krylov trajectory: the
+recovered run converges in the same iteration count to the same bits.
+
+Run:  python examples/krylov_solver.py
+"""
+
+from repro.apps import CGConfig, cg_main
+from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger
+
+import numpy as np
+
+N_RANKS = 4
+CFG = CGConfig(nx=24, ny_per_rank=6, max_iters=300, ckpt_every=20)
+
+
+def run(plan=None, cluster=None, ranklist=None):
+    cluster = cluster or Cluster(N_RANKS, n_spares=1)
+    job = Job(
+        cluster,
+        cg_main,
+        N_RANKS,
+        args=(CFG,),
+        procs_per_node=1,
+        failure_plan=plan,
+        ranklist=ranklist,
+    )
+    return cluster, job, job.run()
+
+
+def main():
+    print("== fault-free CG solve ==")
+    _, _, ref = run()
+    r0 = ref.rank_results[0]
+    print(f"converged: {r0.converged} in {r0.iterations} iterations, "
+          f"residual {r0.residual:.3e}")
+
+    print("\n== power off a node during the 2nd checkpoint's encode ==")
+    cluster = Cluster(N_RANKS, n_spares=1)
+    plan = FailurePlan([PhaseTrigger(node_id=2, phase="ckpt.encode", occurrence=2)])
+    _, job, crashed = run(plan=plan, cluster=cluster)
+    print(f"aborted: {crashed.aborted}, failed nodes: {crashed.failed_nodes}")
+
+    repl = cluster.replace_dead()
+    ranklist = [repl.get(n, n) for n in job.ranklist]
+    _, _, rerun = run(cluster=cluster, ranklist=ranklist)
+    r = rerun.rank_results[0]
+    print(f"resumed at Krylov iteration {r.restored_iteration}; "
+          f"converged in {r.iterations} iterations, residual {r.residual:.3e}")
+
+    for rank in range(N_RANKS):
+        np.testing.assert_array_equal(
+            rerun.rank_results[rank].x, ref.rank_results[rank].x
+        )
+    assert r.iterations == r0.iterations
+    print("\nrecovered solve is bit-identical to the fault-free trajectory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: protect an iterative computation with self-checkpoint.
+
+Runs a small SPMD job on the simulated cluster, checkpoints every few
+iterations, powers a node off mid-run, and shows the daemon-style restart
+recovering the exact state — including the replacement rank's data, rebuilt
+from its group's surviving stripes and checksums.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ckpt import CheckpointManager
+from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger
+
+N_RANKS = 8
+GROUP_SIZE = 4
+ITERATIONS = 10
+CHECKPOINT_EVERY = 3
+
+
+def app(ctx):
+    """Each rank accumulates rank-dependent values into a protected array."""
+    mgr = CheckpointManager(
+        ctx, ctx.world, group_size=GROUP_SIZE, method="self"
+    )
+    # workspace arrays allocated through the manager live in SHM: the
+    # workspace itself doubles as the in-flight checkpoint (the paper's A1)
+    data = mgr.alloc("data", 1024)
+    mgr.commit()
+
+    report = mgr.try_restore()
+    start = report.local["iteration"] if report else 0
+    if report and ctx.world.rank == 0:
+        print(
+            f"  [rank 0] restored epoch {report.epoch} from {report.source!r}, "
+            f"resuming at iteration {start}"
+        )
+
+    for it in range(start, ITERATIONS):
+        data += np.sin(ctx.world.rank + 1.0)  # deterministic "work"
+        ctx.compute(5e8)
+        if (it + 1) % CHECKPOINT_EVERY == 0:
+            mgr.local["iteration"] = it + 1
+            info = mgr.checkpoint()
+            if ctx.world.rank == 0:
+                print(
+                    f"  [rank 0] checkpoint epoch {info.epoch}: "
+                    f"{info.protected_bytes}B protected, "
+                    f"checksum {info.checksum_bytes}B, "
+                    f"encode {info.encode_seconds * 1e3:.2f}ms (virtual)"
+                )
+    return data.copy()
+
+
+def main():
+    print("== fault-free run ==")
+    cluster = Cluster(N_RANKS, n_spares=1)
+    result = Job(cluster, app, N_RANKS, procs_per_node=1).run()
+    expected = {r: result.rank_results[r] for r in range(N_RANKS)}
+    print(f"completed: {result.completed}, virtual makespan "
+          f"{result.makespan:.3f}s")
+
+    print("\n== run with a node powered off during the 2nd checkpoint flush ==")
+    cluster = Cluster(N_RANKS, n_spares=1)
+    plan = FailurePlan(
+        [PhaseTrigger(node_id=3, phase="ckpt.flush", occurrence=2)]
+    )
+    job = Job(cluster, app, N_RANKS, procs_per_node=1, failure_plan=plan)
+    crashed = job.run()
+    print(f"job aborted: {crashed.aborted}, failed nodes: {crashed.failed_nodes}")
+
+    print("\n== daemon-style restart: spare node in, state recovered ==")
+    replacements = cluster.replace_dead()
+    print(f"replacements: {replacements}")
+    ranklist = [replacements.get(n, n) for n in job.ranklist]
+    rerun = Job(cluster, app, N_RANKS, ranklist=ranklist).run()
+    print(f"completed: {rerun.completed}")
+
+    for r in range(N_RANKS):
+        np.testing.assert_array_equal(rerun.rank_results[r], expected[r])
+    print("\nall ranks ended with EXACTLY the fault-free state — including "
+          "the rank whose node was lost.")
+
+
+if __name__ == "__main__":
+    main()

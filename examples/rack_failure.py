@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Surviving a whole-rack power-off: group mapping matters.
+
+Paper §3.3: "for high reliability, a group should also spread its nodes as
+far as possible to tolerate a single rack or switch failure" — and leaves
+the mapping exploration to future work.  This example runs the same
+checkpointed job twice on a racked cluster:
+
+* with the **block** mapping (neighbour-preferring, the performance
+  choice): a rack loss takes both members of a pair — unrecoverable;
+* with the **rack-spread** mapping: every group spans racks, so the same
+  rack loss costs each group at most one stripe — fully recovered, at a
+  measurable inter-rack bandwidth cost during encodes.
+
+Run:  python examples/rack_failure.py
+"""
+
+import numpy as np
+
+from repro.ckpt import CheckpointManager
+from repro.sim import Cluster, Job, Topology, fail_rack
+
+N_RANKS = 8
+TOPO = Topology(nodes_per_rack=4, inter_rack_bw_factor=0.5)
+ITERS = 6
+
+
+def make_app(strategy):
+    def app(ctx):
+        mgr = CheckpointManager(
+            ctx,
+            ctx.world,
+            group_size=2,
+            method="self",
+            strategy=strategy,
+            topology=TOPO,
+        )
+        data = mgr.alloc("data", 256)
+        mgr.commit()
+        report = mgr.try_restore()
+        start = report.local["it"] if report else 0
+        for it in range(start, ITERS):
+            data += ctx.world.rank + 1
+            ctx.compute(1e8)
+            if (it + 1) % 2 == 0:
+                mgr.local["it"] = it + 1
+                mgr.checkpoint()
+        return data.copy()
+
+    return app
+
+
+def run_scenario(strategy):
+    cluster = Cluster(N_RANKS, n_spares=4)
+    job = Job(
+        cluster, make_app(strategy), N_RANKS, procs_per_node=1, topology=TOPO
+    )
+    assert job.run().completed
+    victims = fail_rack(cluster, TOPO, rack=0)
+    print(f"  rack 0 powered off: nodes {victims} lost together")
+    replacements = cluster.replace_dead()
+    ranklist = [replacements.get(n, n) for n in job.ranklist]
+    rerun = Job(
+        cluster, make_app(strategy), N_RANKS, ranklist=ranklist, topology=TOPO
+    ).run()
+    if rerun.completed:
+        ok = all(
+            np.all(rerun.rank_results[r] == ITERS * (r + 1))
+            for r in range(N_RANKS)
+        )
+        print(f"  recovered: True (state exact: {ok})")
+        return True
+    kinds = sorted({type(e).__name__ for e in rerun.rank_errors.values()})
+    print(f"  recovered: False ({', '.join(kinds)})")
+    return False
+
+
+def main():
+    print("== block mapping (neighbour-preferring, rack-exposed) ==")
+    block_ok = run_scenario("block")
+
+    print("\n== rack-spread mapping (one stripe per rack per group) ==")
+    spread_ok = run_scenario("rack-spread")
+
+    assert not block_ok and spread_ok
+    print(
+        "\nthe rack-spread mapping turned a fatal switch loss into an "
+        "ordinary single-stripe recovery per group."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""ABFT-HPL: silent-data-corruption detection and repair — and its limit.
+
+Demonstrates the paper's ABFT baseline (section 6.2): checksum vectors
+maintained through the elimination detect an injected bit-flip-style
+corruption, localize it to the exact matrix entry, and repair it in place —
+the run still passes verification.  But when a *node* is lost, ABFT has
+nothing to recover from: its state lived in the dead process.
+
+Run:  python examples/soft_errors_abft.py
+"""
+
+import numpy as np
+
+from repro.hpl import HPLConfig, abft_hpl_main
+from repro.hpl.abft import SoftErrorInjection
+from repro.hpl.matgen import dense_matrix, dense_rhs
+from repro.sim import Cluster, FailurePlan, Job, TimeTrigger
+
+
+def main():
+    cfg = HPLConfig(n=96, nb=8, p=2, q=2)
+
+    print("== clean ABFT-HPL run ==")
+    cluster = Cluster(4)
+    res = Job(
+        cluster, lambda ctx: abft_hpl_main(ctx, cfg), 4, procs_per_node=1
+    ).run()
+    r0 = res.rank_results[0]
+    print(f"passed: {r0.hpl.passed}, checks run: {r0.checks_run}, "
+          f"errors: {r0.errors_detected}")
+
+    print("\n== inject a silent corruption on rank 2 after panel 4 ==")
+    inj = SoftErrorInjection(panel=4, world_rank=2, magnitude=3.7)
+    res = Job(
+        cluster,
+        lambda ctx: abft_hpl_main(ctx, cfg, inject=inj),
+        4,
+        procs_per_node=1,
+    ).run()
+    r2 = res.rank_results[2]
+    print(f"detected: {r2.errors_detected}, corrected: {r2.errors_corrected}")
+    x_ref = np.linalg.solve(dense_matrix(cfg), dense_rhs(cfg))
+    err = float(np.max(np.abs(r2.hpl.x - x_ref)))
+    print(f"verification: {'PASSED' if r2.hpl.passed else 'FAILED'}, "
+          f"max |x - x_serial| = {err:.3e}")
+    assert r2.errors_corrected >= 1 and r2.hpl.passed
+
+    print("\n== but a permanent node loss is fatal for ABFT ==")
+    cluster = Cluster(4, n_spares=1)
+    plan = FailurePlan([TimeTrigger(node_id=1, at_time=1e-5)])
+    res = Job(
+        cluster,
+        lambda ctx: abft_hpl_main(ctx, cfg),
+        4,
+        procs_per_node=1,
+        failure_plan=plan,
+    ).run()
+    print(f"job aborted: {res.aborted}; surviving nodes hold "
+          f"{sum(len(n.shm) for n in cluster.all_nodes() if n.alive)} SHM "
+          "segments — nothing to restart from.")
+    print("(this is the paper's Table 3 row: ABFT recovers after "
+          "power-off: NO)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,192 @@
+"""Double in-memory checkpoint (paper Fig. 3) — the state of the art.
+
+Two alternating (checkpoint, checksum) slots; each update overwrites the
+*older* slot, so one consistent pair always survives a failure mid-update.
+Fully fault tolerant like self-checkpoint, but the second full copy caps
+available memory at (N-1)/(3N-1) — barely a third — which is exactly the
+cost the paper eliminates.  This is the scheme the SCR-memory row of
+Table 3 and the Zheng et al. buddy system use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ckpt.protocol import Checkpointer, CheckpointInfo, RestoreReport
+from repro.sim.errors import UnrecoverableError
+
+# control layout: [magic, c0, b0, c1, b1]
+_C = (1, 3)
+_B = (2, 4)
+
+
+class DoubleCheckpoint(Checkpointer):
+    """Two-copy in-memory checkpoint: fully fault tolerant, memory hungry."""
+
+    N_FLAGS = 4
+    METHOD = "double"
+
+    def _alloc_array(self, name: str, shape, dtype) -> np.ndarray:
+        arr = np.zeros(shape, dtype=dtype)
+        self.ctx.malloc(arr.nbytes)
+        return arr
+
+    def _create_segments(self) -> None:
+        self._ctrl = self._make_ctrl()
+        self._b = [
+            self.ctx.shm_create(
+                self._seg(f"B{s}"), self._padded, np.uint8, exist_ok=True
+            ).array
+            for s in (0, 1)
+        ]
+        self._c = [
+            self.ctx.shm_create(
+                self._seg(f"C{s}"), self._cs_size, np.uint8, exist_ok=True
+            ).array
+            for s in (0, 1)
+        ]
+
+    @property
+    def overhead_bytes(self) -> int:
+        return (
+            sum(b.nbytes for b in self._b)
+            + sum(c.nbytes for c in self._c)
+            + self._ctrl.nbytes
+        )
+
+    def _epoch(self) -> int:
+        return max(int(self._ctrl[i]) for i in (*_C, *_B))
+
+    def checkpoint(self) -> CheckpointInfo:
+        self._require_committed()
+        ctx = self.ctx
+        e = self._epoch() + 1
+        slot = e % 2  # overwrite the older slot
+
+        ctx.phase("ckpt.begin")
+        self.ckpt_world_entry_barrier()
+        self._ctrl[_C[slot]] = e  # slot is dirty from here
+        ctx.phase("ckpt.update")
+
+        flat = self._pack_flat()
+        enc = self.encoder.encode(flat)
+        self._c[slot][:] = enc.checksum
+        ctx.phase("ckpt.update.mid")
+
+        self.ctx.world.barrier()
+        self._b[slot][:] = flat
+        flush_s = self._charge_copy(flat.nbytes)
+        self._ctrl[_B[slot]] = e
+        ctx.phase("ckpt.flush")
+        self.ctx.world.barrier()
+        ctx.phase("ckpt.done")
+
+        self.n_checkpoints += 1
+        self.total_encode_seconds += enc.seconds
+        self.total_flush_seconds += flush_s
+        return CheckpointInfo(
+            epoch=e,
+            protected_bytes=self._padded,
+            checksum_bytes=self._cs_size,
+            encode_seconds=enc.seconds,
+            flush_seconds=flush_s,
+        )
+
+    def _my_epochs(self) -> tuple:
+        return (
+            tuple(int(self._ctrl[i]) for i in (1, 2, 3, 4))
+            if self._had_state
+            else (0, 0, 0, 0)
+        )
+
+    def exchange_status(self):
+        """World status exchange (one collective); reusable by wrappers like
+        the multi-level tier that must pre-check feasibility."""
+        self._require_committed()
+        return self._exchange_status(self._my_epochs(), self._had_state)
+
+    @staticmethod
+    def valid_slots(statuses) -> dict:
+        """Slots on which every surviving rank agrees on one clean epoch."""
+        valid: dict[int, int] = {}
+        for slot in (0, 1):
+            cs = {s.epochs[2 * slot] for s in statuses if s.has_state}
+            bs = {s.epochs[2 * slot + 1] for s in statuses if s.has_state}
+            if cs == bs and len(cs) == 1:
+                valid[slot] = cs.pop()
+        return valid
+
+    def restore_feasible(self, statuses) -> bool:
+        """Can this group recover from the in-memory slots (or start fresh)
+        without raising?  Pure function of the exchanged statuses, so every
+        rank of the world computes the same value for its own group."""
+        if not any(s.has_state for s in statuses):
+            return True  # fresh start is fine
+        if len(self._group_missing(statuses)) > 1:
+            return False
+        return bool(self.valid_slots(statuses))
+
+    def try_restore(self, statuses=None) -> Optional[RestoreReport]:
+        self._require_committed()
+        if statuses is None:
+            statuses = self.exchange_status()
+
+        if not any(s.has_state for s in statuses):
+            return None
+        missing = self._group_missing(statuses)
+        if len(missing) > 1:
+            raise UnrecoverableError(f"group lost {len(missing)} members")
+
+        valid = self.valid_slots(statuses)
+        if not valid:
+            raise UnrecoverableError(
+                "both double-checkpoint slots are inconsistent — this "
+                "requires more than one failure window"
+            )
+        slot, epoch = max(valid.items(), key=lambda kv: kv[1])
+        if epoch == 0:
+            self._reset_flags()
+            return None
+
+        ctx = self.ctx
+        me = self.group.rank
+        ctx.phase("restore.begin")
+        # normalize flags: the interrupted slot's stale dirty marks would
+        # otherwise make ranks disagree on the next epoch/slot (the
+        # replacement starts with zeroed flags); wipe anything that is not
+        # the restored slot's clean epoch
+        other = 1 - slot
+        if (
+            self._ctrl[_C[other]] != self._ctrl[_B[other]]
+            or int(self._ctrl[_C[other]]) >= epoch
+        ):
+            self._ctrl[_C[other]] = 0
+            self._ctrl[_B[other]] = 0
+        if missing:
+            lost = missing[0]
+            if me == lost:
+                rebuilt = self.encoder.recover(None, None, lost)
+                assert rebuilt is not None
+                self._b[slot][:], self._c[slot][:] = rebuilt
+                self._ctrl[_C[slot]] = epoch
+                self._ctrl[_B[slot]] = epoch
+            else:
+                self.encoder.recover(
+                    np.array(self._b[slot], copy=True),
+                    np.array(self._c[slot], copy=True),
+                    lost,
+                )
+        self.local = self.layout.unpack_into(self._b[slot], self._arrays)
+        self._charge_copy(self._b[slot].nbytes)
+        self.ctx.world.barrier()
+        ctx.phase("restore.done")
+
+        self.n_restores += 1
+        return RestoreReport(
+            epoch=epoch,
+            source="checkpoint",
+            reconstructed=tuple(missing),
+            local=dict(self.local),
+        )

@@ -1,0 +1,129 @@
+"""Double-parity group encoder: the RAID-6 collective over the simulator.
+
+Mirrors :class:`repro.ckpt.encoding.GroupEncoder` but with the (P, Q)
+layout of :mod:`repro.ckpt.stripes_rs`: each member receives *two* parity
+stripes per encode, and up to **two** lost members can be reconstructed.
+
+Cost: the data volume leaving each member is unchanged (its whole buffer
+crosses the network once), but every byte feeds two parity computations, so
+we price the encode with one extra round's worth of overhead relative to
+the single-parity scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ckpt import stripes_rs
+from repro.sim.mpi import Communicator
+
+ParityPair = Tuple[np.ndarray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class EncodeRSResult:
+    parity: ParityPair  # this member's (P stripe, Q stripe)
+    data_bytes: int
+    checksum_bytes: int  # both stripes together
+    seconds: float
+
+
+class GroupEncoderRS:
+    """(P, Q) encode / up-to-two-erasure recover over one group."""
+
+    def __init__(self, comm: Communicator):
+        if comm.size < 4:
+            raise ValueError("double-parity groups need >= 4 members")
+        self.comm = comm
+
+    @property
+    def group_size(self) -> int:
+        return self.comm.size
+
+    def padded_size(self, nbytes: int) -> int:
+        return stripes_rs.padded_size_rs(nbytes, self.group_size)
+
+    def checksum_size(self, nbytes_padded: int) -> int:
+        return stripes_rs.checksum_size_rs(nbytes_padded, self.group_size)
+
+    def _encode_cost(self, nbytes: int) -> float:
+        n = self.group_size
+        base = self.comm.net.stripe_encode_time(nbytes, n)
+        # second parity: one extra bandwidth round's worth of work
+        extra = (nbytes / self.comm.net.params.per_process_bandwidth_Bps) * (
+            self.comm.net.params.stripe_round_overhead
+        )
+        return base + extra
+
+    def encode(self, flat: np.ndarray) -> EncodeRSResult:
+        """Group (P, Q) encode; returns this member's parity pair."""
+        self._check_flat(flat)
+        n = self.group_size
+        t = self._encode_cost(int(flat.nbytes))
+
+        def compute(data: Dict[int, np.ndarray]) -> Dict[int, ParityPair]:
+            bufs = [data[r] for r in range(n)]
+            parity = stripes_rs.build_parity(bufs, n)
+            return {r: parity[r] for r in range(n)}
+
+        parity = self.comm.custom_collective(flat, compute=compute, cost=lambda d: t)
+        return EncodeRSResult(
+            parity=parity,
+            data_bytes=int(flat.nbytes),
+            checksum_bytes=int(parity[0].nbytes + parity[1].nbytes),
+            seconds=t,
+        )
+
+    def recover(
+        self,
+        flat: Optional[np.ndarray],
+        parity: Optional[ParityPair],
+        missing: Sequence[int],
+    ) -> Optional[Tuple[np.ndarray, ParityPair]]:
+        """Reconstruct up to two lost members; every live member calls this.
+
+        Survivors pass their buffer and parity pair; replacement members
+        pass ``None`` and receive their rebuilt ``(buffer, (P, Q))``.
+        """
+        me = self.comm.rank
+        n = self.group_size
+        missing = sorted(set(missing))
+        if not 1 <= len(missing) <= 2:
+            raise ValueError("recover handles 1 or 2 missing members")
+        if me in missing:
+            if flat is not None or parity is not None:
+                raise ValueError("missing members must contribute None")
+            contribution = None
+        else:
+            if flat is None or parity is None:
+                raise ValueError("survivors must contribute buffer and parity")
+            self._check_flat(flat)
+            contribution = (flat, parity)
+
+        def compute(data):
+            survivors = {r: v[0] for r, v in data.items() if v is not None}
+            sp = {r: v[1] for r, v in data.items() if v is not None}
+            rebuilt = stripes_rs.reconstruct_rs(survivors, sp, missing, n)
+            return {r: rebuilt.get(r) for r in data}
+
+        def cost(data):
+            nbytes = max(
+                (v[0].nbytes for v in data.values() if v is not None), default=0
+            )
+            return self._encode_cost(int(nbytes)) + len(missing) * self.comm.net.p2p_time(
+                int(nbytes)
+            )
+
+        return self.comm.custom_collective(contribution, compute=compute, cost=cost)
+
+    def _check_flat(self, flat: np.ndarray) -> None:
+        if flat.dtype != np.uint8:
+            raise TypeError("flat buffer must be uint8")
+        if len(flat) != stripes_rs.padded_size_rs(len(flat), self.group_size):
+            raise ValueError(
+                f"buffer length {len(flat)} not stripe-aligned for "
+                f"double-parity group of {self.group_size}"
+            )

@@ -1,0 +1,258 @@
+"""Incremental diskless checkpointing (Plank & Li, FTCS'94) — the related-
+work baseline the paper rules out for HPL.
+
+Only pages modified since the last checkpoint are copied into the
+checkpoint buffer and folded into the group checksum (XOR is linear, so
+``C_new = C_old ^ group-checksum(delta)`` with ``delta = new ^ old`` zero on
+clean pages).  An **undo log** holds the pre-update value of every dirty
+page plus the old checksum, making the update window recoverable: a failure
+mid-update rolls every survivor back to the previous epoch before the usual
+group reconstruction.
+
+Costs are charged on *dirty* bytes (we model hardware/page-fault dirty
+tracking; the simulator detects dirtiness by comparing against B, but that
+mechanism is free, as a real write-protection scheme would be).
+
+Why the paper rejects it for HPL (§1): "HPL has a big memory footprint —
+almost every byte is modified between two checkpoints", so the dirty set is
+the whole workspace; the undo buffer must then be as large as the
+checkpoint itself, and the scheme degenerates to a double-checkpoint with
+extra bookkeeping.  ``repro.analysis.ablations.ablation_incremental``
+demonstrates exactly that crossover.
+
+Memory per rank: B (M) + C + C_undo (M/(N-1) each) + undo buffer
+(``undo_fraction * M``) — for full-footprint applications this exceeds the
+self-checkpoint's 2M + 2M/(N-1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ckpt.protocol import Checkpointer, CheckpointInfo, RestoreReport
+from repro.sim.errors import UnrecoverableError
+
+_U, _B, _R = 1, 2, 3  # control flags: undo-ready, update-done, resumed
+
+
+class IncrementalCheckpoint(Checkpointer):
+    """Dirty-page incremental checkpoint with undo-log crash consistency."""
+
+    N_FLAGS = 3
+    METHOD = "incremental"
+
+    def __init__(
+        self,
+        *args,
+        page_bytes: int = 4096,
+        undo_fraction: float = 1.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if self.encoder.op != "xor":
+            raise ValueError(
+                "incremental checkpointing relies on XOR's linearity for "
+                "delta checksum folding; op='sum' is not supported"
+            )
+        if page_bytes < 8 or page_bytes % 8:
+            raise ValueError("page_bytes must be a positive multiple of 8")
+        if not 0 < undo_fraction <= 1.0:
+            raise ValueError("undo_fraction must be in (0, 1]")
+        self.page_bytes = page_bytes
+        self.undo_fraction = undo_fraction
+        #: dirty-byte history, one entry per checkpoint (for the ablation)
+        self.dirty_bytes_history: List[int] = []
+
+    # workspace in ordinary process memory; B is the SHM reference copy
+    def _alloc_array(self, name: str, shape, dtype) -> np.ndarray:
+        arr = np.zeros(shape, dtype=dtype)
+        self.ctx.malloc(arr.nbytes)
+        return arr
+
+    def _create_segments(self) -> None:
+        self._ctrl = self._make_ctrl()
+        self._b = self.ctx.shm_create(
+            self._seg("B"), self._padded, np.uint8, exist_ok=True
+        ).array
+        self._c = self.ctx.shm_create(
+            self._seg("C"), self._cs_size, np.uint8, exist_ok=True
+        ).array
+        self._c_undo = self.ctx.shm_create(
+            self._seg("Cu"), self._cs_size, np.uint8, exist_ok=True
+        ).array
+        n_pages = -(-self._padded // self.page_bytes)
+        self._undo_capacity = max(1, int(n_pages * self.undo_fraction))
+        self._undo_pages = self.ctx.shm_create(
+            self._seg("U"),
+            (self._undo_capacity, self.page_bytes),
+            np.uint8,
+            exist_ok=True,
+        ).array
+        self._undo_index = self.ctx.shm_create(
+            self._seg("Ui"), self._undo_capacity + 1, np.int64, exist_ok=True
+        ).array  # [count, page indices...]
+
+    @property
+    def overhead_bytes(self) -> int:
+        return (
+            self._b.nbytes
+            + self._c.nbytes
+            + self._c_undo.nbytes
+            + self._undo_pages.nbytes
+            + self._undo_index.nbytes
+            + self._ctrl.nbytes
+        )
+
+    # -- dirty detection -----------------------------------------------------------
+    def _dirty_pages(self, flat: np.ndarray) -> np.ndarray:
+        """Indices of pages where ``flat`` differs from the reference B."""
+        pb = self.page_bytes
+        n_pages = -(-len(flat) // pb)
+        pad = n_pages * pb - len(flat)
+        if pad:
+            flat = np.concatenate([flat, np.zeros(pad, np.uint8)])
+            ref = np.concatenate([self._b, np.zeros(pad, np.uint8)])
+        else:
+            ref = self._b
+        diff = (flat.reshape(n_pages, pb) != ref.reshape(n_pages, pb)).any(axis=1)
+        return np.nonzero(diff)[0]
+
+    # -- checkpoint ------------------------------------------------------------------
+    def checkpoint(self) -> CheckpointInfo:
+        self._require_committed()
+        ctx = self.ctx
+        e = int(self._ctrl[_U]) + 1
+        pb = self.page_bytes
+
+        ctx.phase("ckpt.begin")
+        self.ckpt_world_entry_barrier()
+
+        flat = self._pack_flat()
+        dirty = self._dirty_pages(flat)
+        dirty_bytes = int(len(dirty) * pb)
+        self.dirty_bytes_history.append(dirty_bytes)
+        if len(dirty) > self._undo_capacity:
+            raise UnrecoverableError(
+                f"rank {ctx.rank}: {len(dirty)} dirty pages exceed the undo "
+                f"capacity of {self._undo_capacity}; this application's "
+                "footprint defeats incremental checkpointing (raise "
+                "undo_fraction, or use the self/double protocols)"
+            )
+
+        # delta buffer: new ^ old, zero outside dirty pages (XOR linearity)
+        delta = np.zeros(self._padded, dtype=np.uint8)
+        for p in dirty:
+            lo, hi = p * pb, min((p + 1) * pb, self._padded)
+            delta[lo:hi] = flat[lo:hi] ^ self._b[lo:hi]
+        enc = self.encoder.encode(delta, effective_bytes=dirty_bytes)
+        ctx.phase("ckpt.encode")
+
+        # prepare the undo log, then license the in-place update world-wide
+        self._c_undo[:] = self._c
+        self._undo_index[0] = len(dirty)
+        for i, p in enumerate(dirty):
+            lo, hi = p * pb, min((p + 1) * pb, self._padded)
+            self._undo_index[1 + i] = p
+            self._undo_pages[i, : hi - lo] = self._b[lo:hi]
+        self.ctx.world.barrier()
+        self._ctrl[_U] = e
+        ctx.phase("ckpt.undo_ready")
+
+        # in-place update of B and C (the vulnerable window the undo covers)
+        for p in dirty:
+            lo, hi = p * pb, min((p + 1) * pb, self._padded)
+            self._b[lo:hi] = flat[lo:hi]
+        self._c[:] = self._c ^ enc.checksum
+        flush_s = self._charge_copy(2 * dirty_bytes + self._c.nbytes)
+        self._ctrl[_B] = e
+        ctx.phase("ckpt.flush")
+
+        self.ctx.world.barrier()
+        self._ctrl[_R] = e
+        ctx.phase("ckpt.done")
+
+        self.n_checkpoints += 1
+        self.total_encode_seconds += enc.seconds
+        self.total_flush_seconds += flush_s
+        return CheckpointInfo(
+            epoch=e,
+            protected_bytes=dirty_bytes,
+            checksum_bytes=self._cs_size,
+            encode_seconds=enc.seconds,
+            flush_seconds=flush_s,
+        )
+
+    # -- restore ---------------------------------------------------------------------
+    def _rollback(self) -> None:
+        """Undo a (possibly partial) in-place update: B pages and C revert
+        to the previous epoch.  Idempotent."""
+        pb = self.page_bytes
+        count = int(self._undo_index[0])
+        for i in range(count):
+            p = int(self._undo_index[1 + i])
+            lo, hi = p * pb, min((p + 1) * pb, self._padded)
+            self._b[lo:hi] = self._undo_pages[i, : hi - lo]
+        self._c[:] = self._c_undo
+
+    def try_restore(self) -> Optional[RestoreReport]:
+        self._require_committed()
+        epochs = (
+            (int(self._ctrl[_U]), int(self._ctrl[_B]), int(self._ctrl[_R]))
+            if self._had_state
+            else (0, 0, 0)
+        )
+        statuses = self._exchange_status(epochs, self._had_state)
+        if not any(s.has_state for s in statuses):
+            return None
+        missing = self._group_missing(statuses)
+        if len(missing) > 1:
+            raise UnrecoverableError(f"group lost {len(missing)} members")
+
+        e_u = self._world_max(statuses, 0)
+        e_r = self._world_max(statuses, 2)
+
+        ctx = self.ctx
+        ctx.phase("restore.begin")
+        if e_u > e_r:
+            # failure during the in-place update of epoch e_u: every
+            # survivor whose undo covers e_u rolls back to e_u - 1
+            if self._had_state and int(self._ctrl[_U]) == e_u:
+                self._rollback()
+                self._ctrl[_U] = e_u - 1
+                self._ctrl[_B] = e_u - 1
+            epoch = e_u - 1
+        else:
+            epoch = self._world_max(statuses, 1)
+        if epoch == 0:
+            self._reset_flags()
+            return None
+
+        me = self.group.rank
+        if missing:
+            if me in missing:
+                rebuilt = self.encoder.recover(None, None, missing[0])
+                assert rebuilt is not None
+                self._b[:], self._c[:] = rebuilt
+                self._ctrl[_U] = epoch
+                self._ctrl[_B] = epoch
+            else:
+                self.encoder.recover(
+                    np.array(self._b, copy=True),
+                    np.array(self._c, copy=True),
+                    missing[0],
+                )
+        self.local = self.layout.unpack_into(self._b, self._arrays)
+        self._charge_copy(self._b.nbytes)
+        self._ctrl[_R] = epoch
+        self.ctx.world.barrier()
+        ctx.phase("restore.done")
+
+        self.n_restores += 1
+        return RestoreReport(
+            epoch=epoch,
+            source="checkpoint",
+            reconstructed=tuple(missing),
+            local=dict(self.local),
+        )

@@ -1,0 +1,159 @@
+"""Application-facing checkpoint manager: groups + protocol in one object.
+
+Ties together the pieces an application needs (paper §5): partition the
+world into node-distinct encoding groups, split a group communicator, and
+instantiate the chosen protocol.  SKT-HPL and the examples go through this.
+
+Typical use inside a rank main::
+
+    mgr = CheckpointManager(ctx, ctx.world, group_size=8, method="self")
+    a = mgr.alloc("matrix", (rows, cols))
+    mgr.commit()
+    report = mgr.try_restore()
+    start = report.local["iteration"] if report else 0
+    for it in range(start, n_iters):
+        ... mutate a ...
+        if time_to_checkpoint(it):
+            mgr.local["iteration"] = it + 1
+            mgr.checkpoint()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.ckpt.disk import BlockDevice, DiskCheckpoint, HDD, SSD
+from repro.ckpt.double import DoubleCheckpoint
+from repro.ckpt.buddy import BuddyCheckpoint
+from repro.ckpt.grouping import GroupLayout, partition_groups
+from repro.ckpt.incremental import IncrementalCheckpoint
+from repro.ckpt.multilevel import MultiLevelCheckpoint
+from repro.ckpt.protocol import CheckpointInfo, RestoreReport
+from repro.ckpt.self_ckpt import SelfCheckpoint
+from repro.ckpt.self_rs import SelfCheckpointRS
+from repro.ckpt.single import SingleCheckpoint
+from repro.sim.mpi import Communicator
+from repro.sim.runtime import RankContext
+
+METHODS = (
+    "self",
+    "self-rs",
+    "single",
+    "double",
+    "buddy",
+    "incremental",
+    "disk-hdd",
+    "disk-ssd",
+    "multilevel",
+)
+
+
+class CheckpointManager:
+    """Builds groups and the protocol; delegates the checkpoint surface."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        world: Communicator,
+        *,
+        group_size: int = 8,
+        method: str = "self",
+        strategy: str = "stride",
+        op: str = "xor",
+        prefix: str = "ckpt",
+        a2_capacity: int = 4096,
+        device: Optional[BlockDevice] = None,
+        flush_every: int = 10,
+        page_bytes: int = 4096,
+        undo_fraction: float = 1.0,
+        topology=None,
+    ):
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+        self.ctx = ctx
+        self.world = world
+        self.method = method
+
+        if method.startswith("disk"):
+            self.group_layout: Optional[GroupLayout] = None
+            self.group: Optional[Communicator] = None
+            dev = device or (HDD if method == "disk-hdd" else SSD)
+            self._impl = DiskCheckpoint(
+                ctx, dev, prefix=prefix, a2_capacity=a2_capacity
+            )
+        else:
+            self.group_layout = partition_groups(
+                world.size,
+                group_size,
+                strategy=strategy,
+                ranklist=ctx.job.ranklist,
+                topology=topology,
+            )
+            me = world.rank
+            gid = self.group_layout.group_of(me)
+            grank = self.group_layout.group_rank_of(me)
+            self.group = world.split(color=gid, key=grank)
+            kwargs = dict(op=op, prefix=f"{prefix}.g{gid}", a2_capacity=a2_capacity)
+            if method == "self":
+                self._impl = SelfCheckpoint(ctx, self.group, **kwargs)
+            elif method == "self-rs":
+                self._impl = SelfCheckpointRS(ctx, self.group, **kwargs)
+            elif method == "single":
+                self._impl = SingleCheckpoint(ctx, self.group, **kwargs)
+            elif method == "double":
+                self._impl = DoubleCheckpoint(ctx, self.group, **kwargs)
+            elif method == "buddy":
+                self._impl = BuddyCheckpoint(ctx, self.group, **kwargs)
+            elif method == "incremental":
+                self._impl = IncrementalCheckpoint(
+                    ctx,
+                    self.group,
+                    page_bytes=page_bytes,
+                    undo_fraction=undo_fraction,
+                    **kwargs,
+                )
+            else:  # multilevel
+                self._impl = MultiLevelCheckpoint(
+                    ctx,
+                    self.group,
+                    device=device or HDD,
+                    flush_every=flush_every,
+                    op=op,
+                    prefix=f"{prefix}.g{gid}",
+                    a2_capacity=a2_capacity,
+                )
+
+    # -- delegated surface ---------------------------------------------------------
+    def alloc(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        return self._impl.alloc(name, shape, dtype)
+
+    def array(self, name: str) -> np.ndarray:
+        return self._impl.array(name)
+
+    def commit(self) -> None:
+        self._impl.commit()
+
+    def checkpoint(self) -> CheckpointInfo:
+        return self._impl.checkpoint()
+
+    def try_restore(self) -> Optional[RestoreReport]:
+        return self._impl.try_restore()
+
+    @property
+    def local(self) -> Dict[str, Any]:
+        return self._impl.local
+
+    @local.setter
+    def local(self, value: Dict[str, Any]) -> None:
+        self._impl.local = value
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self._impl.overhead_bytes
+
+    @property
+    def impl(self):
+        """The underlying protocol object (for stats inspection)."""
+        return self._impl

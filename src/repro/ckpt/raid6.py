@@ -1,0 +1,170 @@
+"""GF(2^8) arithmetic and RAID-6-style double-erasure coding.
+
+The paper notes (§2.1) that "more complex encoding methods, such as RAID-6
+and Reed-Solomon, [can] tolerate more node failures."  This module provides
+that extension: a P+Q parity pair over each group's buffers that recovers
+any **two** lost members, at the cost of a second checksum stripe.
+
+Arithmetic is the standard RAID-6 construction over GF(2^8) with the
+primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D):
+
+    P = D_0 ^ D_1 ^ ... ^ D_{n-1}
+    Q = g^0*D_0 ^ g^1*D_1 ^ ... ^ g^{n-1}*D_{n-1},   g = 0x02
+
+All byte-wise operations are vectorized through numpy lookup tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+class GF256:
+    """The field GF(2^8) with log/antilog tables for fast vector ops."""
+
+    POLY = 0x11D
+    GENERATOR = 0x02
+
+    def __init__(self) -> None:
+        exp = np.zeros(512, dtype=np.uint8)
+        log = np.zeros(256, dtype=np.int32)
+        x = 1
+        for i in range(255):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & 0x100:
+                x ^= self.POLY
+        exp[255:510] = exp[0:255]  # wraparound so exp[a+b] needs no mod
+        self._exp = exp
+        self._log = log
+
+    # -- scalar ops (used in solving the 2x2 erasure system) -------------------
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("GF256 division by zero")
+        if a == 0:
+            return 0
+        return int(self._exp[(self._log[a] - self._log[b]) % 255])
+
+    def inv(self, a: int) -> int:
+        return self.div(1, a)
+
+    def pow_g(self, k: int) -> int:
+        """g^k for the generator g = 2."""
+        return int(self._exp[k % 255])
+
+    # -- vector ops ---------------------------------------------------------------
+    def vec_mul(self, c: int, v: np.ndarray) -> np.ndarray:
+        """Scale a uint8 vector by the field constant ``c``."""
+        if v.dtype != np.uint8:
+            raise TypeError("GF256 vectors are uint8")
+        if c == 0:
+            return np.zeros_like(v)
+        if c == 1:
+            return v.copy()
+        table = self._exp[(self._log[np.arange(256)] + self._log[c]) % 255].astype(
+            np.uint8
+        )
+        table[0] = 0
+        return table[v]
+
+
+_GF = GF256()
+
+
+class RSCodec:
+    """P+Q encoder/decoder over a group of equal-length uint8 buffers."""
+
+    def __init__(self, group_size: int):
+        if not 2 <= group_size <= 255:
+            raise ValueError("group_size must be in [2, 255]")
+        self.group_size = group_size
+        self.gf = _GF
+
+    def encode(self, buffers: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute the (P, Q) parity pair for ``buffers``."""
+        self._check(buffers)
+        p = np.zeros_like(buffers[0])
+        q = np.zeros_like(buffers[0])
+        for j, d in enumerate(buffers):
+            p ^= d
+            q ^= self.gf.vec_mul(self.gf.pow_g(j), d)
+        return p, q
+
+    def _check(self, buffers: Sequence[np.ndarray]) -> None:
+        if len(buffers) != self.group_size:
+            raise ValueError(
+                f"expected {self.group_size} buffers, got {len(buffers)}"
+            )
+        size = len(buffers[0])
+        for b in buffers:
+            if b.dtype != np.uint8 or len(b) != size:
+                raise ValueError("buffers must be equal-length uint8 arrays")
+
+    def decode(
+        self,
+        survivors: Dict[int, np.ndarray],
+        p: np.ndarray | None,
+        q: np.ndarray | None,
+    ) -> Dict[int, np.ndarray]:
+        """Recover up to two lost data buffers.
+
+        ``survivors`` maps surviving indices to their buffers; ``p``/``q``
+        are the parities (pass ``None`` for a lost parity).  Handles every
+        RAID-6 erasure case: one data loss (via P or Q), two data losses
+        (via P and Q), and data+parity losses.
+
+        Returns ``{index: recovered buffer}`` for each missing data index.
+        """
+        n = self.group_size
+        missing = sorted(set(range(n)) - set(survivors))
+        lost_parities = (p is None) + (q is None)
+        if len(missing) + lost_parities > 2:
+            raise ValueError(
+                f"RAID-6 tolerates 2 erasures; lost {len(missing)} data "
+                f"buffers and {lost_parities} parities"
+            )
+        if not missing:
+            return {}
+        gf = self.gf
+
+        if len(missing) == 1:
+            x = missing[0]
+            if p is not None:
+                acc = p.copy()
+                for j, d in survivors.items():
+                    acc ^= d
+                return {x: acc}
+            # recover through Q: D_x = (Q ^ sum g^j D_j) / g^x
+            assert q is not None
+            acc = q.copy()
+            for j, d in survivors.items():
+                acc ^= gf.vec_mul(gf.pow_g(j), d)
+            return {x: gf.vec_mul(gf.inv(gf.pow_g(x)), acc)}
+
+        # two data losses: solve
+        #   D_x ^ D_y                 = P'   (P minus survivors)
+        #   g^x D_x ^ g^y D_y         = Q'   (Q minus survivors)
+        if p is None or q is None:
+            raise ValueError("two data losses need both parities")
+        x, y = missing
+        pp = p.copy()
+        qq = q.copy()
+        for j, d in survivors.items():
+            pp ^= d
+            qq ^= gf.vec_mul(gf.pow_g(j), d)
+        gx, gy = gf.pow_g(x), gf.pow_g(y)
+        denom = gx ^ gy  # g^x + g^y in GF(2^8)
+        a = gf.div(gy, denom)
+        b = gf.inv(denom)
+        dx = gf.vec_mul(a, pp) ^ gf.vec_mul(b, qq)
+        dy = pp ^ dx
+        return {x: dx, y: dy}

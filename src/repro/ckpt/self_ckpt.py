@@ -1,0 +1,346 @@
+"""Self-checkpoint — the paper's contribution (sections 3.1-3.2, Figs. 4-5).
+
+Memory layout per rank (all in SHM, names per Fig. 5):
+
+===========  =====================================================  =========
+segment      contents                                               size
+===========  =====================================================  =========
+``A1.*``     the workspace arrays themselves (allocated in SHM)     M
+``B2``       copy of the small local/static state A2                ~KBs
+``B``        the committed checkpoint (flat A1 ‖ A2)                M
+``C``        checksum consistent with B                             M/(N-1)
+``D``        checksum of the *live* workspace (A1 ‖ B2)             M/(N-1)
+``CTRL``     [magic, epoch_F, epoch_B, epoch_R]                     32 B
+===========  =====================================================  =========
+
+Checkpoint workflow (Fig. 5)::
+
+    1. copy A2 -> B2
+    2. D <- group-checksum(A1 ‖ B2)          (stripe encode collective)
+       BARRIER; epoch_F = e                  # flush license
+    3. B <- (A1 ‖ B2);  C <- D;  epoch_B = e
+       BARRIER; epoch_R = e                  # resume license
+
+The two barriers establish the invariants the recovery decision needs:
+
+* any rank flushing  ==>  every rank finished writing D at this epoch
+  (so the **workspace path** A1+D is whole);
+* any rank computing ==>  every rank finished flushing B, C
+  (so the **checkpoint path** B+C is whole).
+
+Recovery decision from the survivors' flags (max over survivors)::
+
+    if max(epoch_F) > max(epoch_R):   failure hit the flush
+        -> CASE 2: recover from workspace A1/B2 + checksum D
+    elif max(epoch_B) >= 1:           failure hit compute or encode
+        -> CASE 1: recover from checkpoint B + checksum C
+    else:                             no checkpoint was ever completed
+        -> fresh start
+
+Either path reconstructs the replacement rank's data from the survivors'
+buffers and checksum stripes, then rewrites a clean (B, C) pair so the
+group returns to the steady state.  A single node loss per group is
+therefore tolerated **at any time** — while using one checkpoint copy and
+two small checksums instead of the double-checkpoint's two full copies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ckpt.protocol import Checkpointer, CheckpointInfo, RestoreReport
+from repro.sim.errors import UnrecoverableError
+
+_F, _B, _R = 1, 2, 3  # control-segment flag indices (0 is the magic)
+
+
+class SelfCheckpoint(Checkpointer):
+    """The self-checkpoint protocol (fully fault tolerant, 1 copy + 2
+    checksums; available memory (N-1)/2N, paper Eq. 2)."""
+
+    N_FLAGS = 3
+    METHOD = "self"
+    #: simultaneous member losses one group tolerates (1 for the XOR/SUM
+    #: stripes; the Reed-Solomon subclass raises it to 2)
+    MAX_LOSSES = 1
+
+    # -- encode/recover hooks (overridden by the double-parity subclass) ----
+    def _do_encode(self, flat: np.ndarray):
+        """Encode the group's buffers; returns (checksum bytes, seconds)."""
+        enc = self.encoder.encode(flat)
+        return enc.checksum, enc.seconds
+
+    def _do_recover(self, flat, checksum, missing: list):
+        """Group-reconstruct the missing members.  Survivors pass their
+        buffer and checksum bytes; missing members pass None and receive
+        their rebuilt ``(flat, checksum)``; survivors receive None."""
+        return self.encoder.recover(flat, checksum, missing[0])
+
+    # -- placement: the workspace lives in SHM ------------------------------------
+    def _alloc_array(self, name: str, shape, dtype) -> np.ndarray:
+        seg = self.ctx.shm_create(
+            self._seg(f"A1.{name}"), shape, dtype, exist_ok=True
+        )
+        return seg.array
+
+    def _create_segments(self) -> None:
+        self._ctrl = self._make_ctrl()
+        self._b = self.ctx.shm_create(
+            self._seg("B"), self._padded, np.uint8, exist_ok=True
+        ).array
+        self._b2 = self.ctx.shm_create(
+            self._seg("B2"), 8 + self.layout.a2_capacity, np.uint8, exist_ok=True
+        ).array
+        self._c = self.ctx.shm_create(
+            self._seg("C"), self._cs_size, np.uint8, exist_ok=True
+        ).array
+        self._d = self.ctx.shm_create(
+            self._seg("D"), self._cs_size, np.uint8, exist_ok=True
+        ).array
+
+    @property
+    def overhead_bytes(self) -> int:
+        """B + C + D + B2 (+ control); the workspace itself is not overhead
+        — that is the whole point (Table 1)."""
+        return (
+            self._b.nbytes + self._c.nbytes + self._d.nbytes + self._b2.nbytes + self._ctrl.nbytes
+        )
+
+    # -- checkpoint ---------------------------------------------------------------------
+    def checkpoint(self) -> CheckpointInfo:
+        self._require_committed()
+        ctx = self.ctx
+        e = int(self._ctrl[_F]) + 1
+
+        ctx.phase("ckpt.begin")
+        # step 1: copy A2 into its SHM shadow B2
+        self._b2[:] = self.layout.pack_a2(self.local)
+        ctx.phase("ckpt.copy_a2")
+
+        # step 2: encode the live workspace (A1 ‖ B2) into D
+        flat = self._pack_flat()
+        checksum, encode_s = self._do_encode(flat)
+        self._d[:] = checksum
+        ctx.phase("ckpt.encode")
+
+        # flush license: a *world* barrier, so that "any rank flushing"
+        # implies every group in the system holds a complete D — the
+        # recovery decision is then globally consistent (all groups roll to
+        # the same application iteration).  The barrier adds only latency
+        # terms; the paper's claim that encode cost depends on the group
+        # size alone still holds.
+        self.ctx.world.barrier()
+        self._ctrl[_F] = e
+        ctx.phase("ckpt.flush_license")
+
+        # step 3: flush workspace into the committed checkpoint
+        self._b[:] = flat
+        self._c[:] = self._d
+        flush_s = self._charge_copy(flat.nbytes + self._d.nbytes)
+        self._ctrl[_B] = e
+        ctx.phase("ckpt.flush")
+
+        # resume license: world-wide, for the same reason
+        self.ctx.world.barrier()
+        self._ctrl[_R] = e
+        ctx.phase("ckpt.done")
+
+        self.n_checkpoints += 1
+        self.total_encode_seconds += encode_s
+        self.total_flush_seconds += flush_s
+        return CheckpointInfo(
+            epoch=e,
+            protected_bytes=self._padded,
+            checksum_bytes=self._cs_size,
+            encode_seconds=encode_s,
+            flush_seconds=flush_s,
+        )
+
+    # -- restore -------------------------------------------------------------------------
+    def try_restore(self) -> Optional[RestoreReport]:
+        self._require_committed()
+        epochs = (
+            (int(self._ctrl[_F]), int(self._ctrl[_B]), int(self._ctrl[_R]))
+            if self._had_state
+            else (0, 0, 0)
+        )
+        statuses = self._exchange_status(epochs, self._had_state)
+
+        if not any(s.has_state for s in statuses):
+            # brand-new system OR a failure before the first checkpoint
+            # ever committed: surviving nodes may still hold the stale
+            # pre-failure workspace in SHM — blank it so every rank
+            # initializes identically
+            self._fresh_reset()
+            return None
+        missing = self._group_missing(statuses)
+        if len(missing) > self.MAX_LOSSES:
+            raise UnrecoverableError(
+                f"group lost {len(missing)} members ({missing}); this "
+                f"encoding tolerates {self.MAX_LOSSES}"
+            )
+
+        # world-wide flag maxima: every group takes the same branch
+        e_f = self._world_max(statuses, 0)
+        e_b = self._world_max(statuses, 1)
+        e_r = self._world_max(statuses, 2)
+
+        if e_f > e_r:
+            return self._restore_workspace_path(e_f, missing)
+        if e_b >= 1:
+            return self._restore_checkpoint_path(e_b, missing)
+        self._fresh_reset()
+        return None
+
+    def _fresh_reset(self) -> None:
+        """Blank the SHM workspace and flags for a fresh start (no epoch
+        ever committed anywhere, possibly with stale pre-failure data on
+        surviving nodes)."""
+        if self._had_state:
+            for arr in self._arrays.values():
+                arr[...] = 0
+            self._b2[:] = 0
+            self._reset_flags()
+
+    def _restore_workspace_path(self, epoch: int, missing: list) -> RestoreReport:
+        """CASE 2 (Fig. 4): the flush was interrupted; the live workspace
+        A1/B2 plus the new checksum D are globally consistent."""
+        ctx = self.ctx
+        me = self.group.rank
+        ctx.phase("restore.begin")
+
+        if missing:
+            if me in missing:
+                rebuilt = self._do_recover(None, None, missing)
+                assert rebuilt is not None
+                flat, checksum = rebuilt
+                self.local = self.layout.unpack_into(flat, self._arrays)
+                self._b2[:] = flat[
+                    self.layout.raw_size - self._b2.nbytes : self.layout.raw_size
+                ]
+                self._d[:] = checksum
+            else:
+                flat = self._flat_from_workspace()
+                self._do_recover(flat, np.array(self._d, copy=True), missing)
+                self.local = self.layout.unpack_a2(self._b2)
+        else:
+            flat = self._flat_from_workspace()
+            self.local = self.layout.unpack_a2(self._b2)
+        ctx.phase("restore.reconstruct")
+
+        # complete the interrupted flush so the steady state holds again
+        flat = self._flat_from_workspace() if missing and me in missing else flat
+        self._b[:] = flat
+        self._c[:] = self._d
+        self._charge_copy(flat.nbytes + self._d.nbytes)
+        self._ctrl[_F] = epoch
+        self._ctrl[_B] = epoch
+        self.ctx.world.barrier()
+        self._ctrl[_R] = epoch
+        ctx.phase("restore.done")
+
+        self.n_restores += 1
+        return RestoreReport(
+            epoch=epoch,
+            source="workspace",
+            reconstructed=tuple(missing),
+            local=dict(self.local),
+        )
+
+    def _restore_checkpoint_path(self, epoch: int, missing: list) -> RestoreReport:
+        """CASE 1 (Fig. 4): compute or encode was interrupted; the committed
+        checkpoint (B, C) is globally consistent."""
+        ctx = self.ctx
+        me = self.group.rank
+        ctx.phase("restore.begin")
+
+        if missing:
+            if me in missing:
+                rebuilt = self._do_recover(None, None, missing)
+                assert rebuilt is not None
+                b_new, c_new = rebuilt
+                self._b[:] = b_new
+                self._c[:] = c_new
+            else:
+                self._do_recover(
+                    np.array(self._b, copy=True), np.array(self._c, copy=True), missing
+                )
+        ctx.phase("restore.reconstruct")
+
+        # roll the workspace back to the checkpoint
+        self.local = self.layout.unpack_into(self._b, self._arrays)
+        self._b2[:] = self._b[
+            self.layout.raw_size - self._b2.nbytes : self.layout.raw_size
+        ]
+        self._d[:] = self._c
+        self._charge_copy(self._b.nbytes)
+        self._ctrl[_F] = epoch
+        self._ctrl[_B] = epoch
+        self.ctx.world.barrier()
+        self._ctrl[_R] = epoch
+        ctx.phase("restore.done")
+
+        self.n_restores += 1
+        return RestoreReport(
+            epoch=epoch,
+            source="checkpoint",
+            reconstructed=tuple(missing),
+            local=dict(self.local),
+        )
+
+    # -- diagnostics -----------------------------------------------------------
+    def verify(self) -> dict:
+        """Collectively audit the group's redundancy (debug/ops tool).
+
+        Returns ``{"checkpoint_ok": ..., "epochs": (F, B, R)}`` on every
+        member: ``checkpoint_ok`` is True when the committed (B, C) pair is
+        a consistent codeword across the whole group.  Safe to call at any
+        quiescent point (all members must call together).
+        """
+        from repro.ckpt import stripes
+
+        n = self.group.size
+        op = self.encoder.op if hasattr(self.encoder, "op") else "xor"
+
+        def compute(data):
+            bufs = [data[r][0] for r in range(n)]
+            cs = [data[r][1] for r in range(n)]
+            if self.METHOD == "self-rs":
+                from repro.ckpt import stripes_rs
+
+                parity = [self._unpack_parity(c) for c in cs]
+                ok = stripes_rs.verify_group_rs(bufs, parity, n)
+            else:
+                ok = stripes.verify_group(bufs, cs, op)
+            return {r: ok for r in data}
+
+        contribution = (np.array(self._b, copy=True), np.array(self._c, copy=True))
+        ok = self.group.custom_collective(
+            contribution,
+            compute=compute,
+            cost=lambda d: self.group.net.stripe_encode_time(self._padded, n),
+        )
+        return {
+            "checkpoint_ok": bool(ok),
+            "epochs": (
+                int(self._ctrl[_F]),
+                int(self._ctrl[_B]),
+                int(self._ctrl[_R]),
+            ),
+        }
+
+    def _flat_from_workspace(self) -> np.ndarray:
+        """Flat view of the live workspace with A2 taken from B2 (the
+        process's in-memory A2 did not survive the restart)."""
+        out = np.zeros(self._padded, dtype=np.uint8)
+        offset = 0
+        for name in self.layout.names:
+            a = self._arrays[name]
+            out[offset : offset + a.nbytes] = np.ascontiguousarray(a).view(
+                np.uint8
+            ).reshape(-1)
+            offset += a.nbytes
+        out[offset : offset + self._b2.nbytes] = self._b2
+        return out

@@ -1,0 +1,60 @@
+"""Self-checkpoint with double parity: tolerate TWO node losses per group.
+
+The paper notes that "more complex encoding methods, such as RAID-6 and
+Reed-Solomon, [can] tolerate more node failures" (§2.1).  This protocol is
+that extension applied to self-checkpoint: the C and D segments each hold a
+(P, Q) parity pair from :mod:`repro.ckpt.stripes_rs` instead of a single
+XOR stripe, and recovery reconstructs up to two simultaneously lost
+members.
+
+Space: checksums are ``2M/(N-2)`` per member, so available memory is
+``(N-2)/2N`` — identical to running the single-parity scheme at half the
+group size, but with *any-2-of-N* tolerance instead of 1-per-subgroup.
+The ``bench_ablations`` group-size bench quantifies the trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckpt.encoding_rs import GroupEncoderRS
+from repro.ckpt.self_ckpt import SelfCheckpoint
+
+
+class SelfCheckpointRS(SelfCheckpoint):
+    """Self-checkpoint over (P, Q) Reed-Solomon parity; 2 losses/group."""
+
+    METHOD = "self-rs"
+    MAX_LOSSES = 2
+
+    def __init__(self, *args, **kwargs):
+        kwargs.pop("op", None)  # the parity pair fixes the operators
+        super().__init__(*args, **kwargs)
+        if self.group.size < 4:
+            raise ValueError("self-rs needs groups of >= 4 members")
+        self.encoder = GroupEncoderRS(self.group)
+
+    # -- hooks ------------------------------------------------------------------
+    def _do_encode(self, flat: np.ndarray):
+        enc = self.encoder.encode(flat)
+        return self._pack_parity(enc.parity), enc.seconds
+
+    def _do_recover(self, flat, checksum, missing: list):
+        parity = None if checksum is None else self._unpack_parity(checksum)
+        out = self.encoder.recover(flat, parity, missing)
+        if out is None:
+            return None
+        rebuilt_flat, rebuilt_parity = out
+        return rebuilt_flat, self._pack_parity(rebuilt_parity)
+
+    # -- parity pair <-> flat checksum segment -----------------------------------
+    def _pack_parity(self, parity) -> np.ndarray:
+        p, q = parity
+        out = np.empty(p.nbytes + q.nbytes, dtype=np.uint8)
+        out[: p.nbytes] = p
+        out[p.nbytes :] = q
+        return out
+
+    def _unpack_parity(self, blob: np.ndarray):
+        half = len(blob) // 2
+        return blob[:half].copy(), blob[half:].copy()

@@ -1,0 +1,139 @@
+"""Single in-memory checkpoint (paper Fig. 2) — the weak baseline.
+
+One checkpoint ``B`` plus one checksum ``C`` per rank, both updated **in
+place** at every checkpoint.  Cheapest in memory (Eq. 4: (N-1)/(2N-1)
+available), but a failure while the update is in flight leaves (B, C)
+inconsistent and the run is unrecoverable — the paper's CASE 2.
+
+The control flags make the vulnerable window observable: ``c_epoch`` is
+bumped *before* the update starts (declaring C dirty) and ``b_epoch``
+*after* B lands.  At restore time the group is recoverable only when every
+survivor shows ``c_epoch == b_epoch`` at one common epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ckpt.protocol import Checkpointer, CheckpointInfo, RestoreReport
+from repro.sim.errors import UnrecoverableError
+
+_C, _B = 1, 2
+
+
+class SingleCheckpoint(Checkpointer):
+    """Single-copy in-memory checkpoint: NOT fully fault tolerant."""
+
+    N_FLAGS = 2
+    METHOD = "single"
+
+    # workspace lives in ordinary process memory (lost on restart)
+    def _alloc_array(self, name: str, shape, dtype) -> np.ndarray:
+        arr = np.zeros(shape, dtype=dtype)
+        self.ctx.malloc(arr.nbytes)
+        return arr
+
+    def _create_segments(self) -> None:
+        self._ctrl = self._make_ctrl()
+        self._b = self.ctx.shm_create(
+            self._seg("B"), self._padded, np.uint8, exist_ok=True
+        ).array
+        self._c = self.ctx.shm_create(
+            self._seg("C"), self._cs_size, np.uint8, exist_ok=True
+        ).array
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self._b.nbytes + self._c.nbytes + self._ctrl.nbytes
+
+    def checkpoint(self) -> CheckpointInfo:
+        self._require_committed()
+        ctx = self.ctx
+        e = max(int(self._ctrl[_C]), int(self._ctrl[_B])) + 1
+
+        ctx.phase("ckpt.begin")
+        self.ckpt_world_entry_barrier()
+        # the in-place update starts: C is dirty from here on
+        self._ctrl[_C] = e
+        ctx.phase("ckpt.update")
+
+        flat = self._pack_flat()
+        enc = self.encoder.encode(flat)
+        self._c[:] = enc.checksum
+        ctx.phase("ckpt.update.mid")
+
+        # the flush happens together system-wide (world barrier, keeping
+        # all groups' epochs aligned); a failure now catches peers mid-update
+        self.ctx.world.barrier()
+        self._b[:] = flat
+        flush_s = self._charge_copy(flat.nbytes)
+        self._ctrl[_B] = e
+        ctx.phase("ckpt.flush")
+        self.ctx.world.barrier()
+        ctx.phase("ckpt.done")
+
+        self.n_checkpoints += 1
+        self.total_encode_seconds += enc.seconds
+        self.total_flush_seconds += flush_s
+        return CheckpointInfo(
+            epoch=e,
+            protected_bytes=self._padded,
+            checksum_bytes=self._cs_size,
+            encode_seconds=enc.seconds,
+            flush_seconds=flush_s,
+        )
+
+    def try_restore(self) -> Optional[RestoreReport]:
+        self._require_committed()
+        epochs = (
+            (int(self._ctrl[_C]), int(self._ctrl[_B])) if self._had_state else (0, 0)
+        )
+        statuses = self._exchange_status(epochs, self._had_state)
+
+        if not any(s.has_state for s in statuses):
+            return None
+        missing = self._group_missing(statuses)
+        if len(missing) > 1:
+            raise UnrecoverableError(f"group lost {len(missing)} members")
+
+        cs = {s.epochs[0] for s in statuses if s.has_state}
+        bs = {s.epochs[1] for s in statuses if s.has_state}
+        if cs != bs or len(cs) != 1:
+            raise UnrecoverableError(
+                "single-checkpoint state is inconsistent (failure during "
+                f"checkpoint update): c_epochs={sorted(cs)} b_epochs={sorted(bs)}"
+            )
+        epoch = cs.pop()
+        if epoch == 0:
+            self._reset_flags()
+            return None
+
+        ctx = self.ctx
+        me = self.group.rank
+        ctx.phase("restore.begin")
+        if missing:
+            lost = missing[0]
+            if me == lost:
+                rebuilt = self.encoder.recover(None, None, lost)
+                assert rebuilt is not None
+                self._b[:], self._c[:] = rebuilt
+                self._ctrl[_C] = epoch
+                self._ctrl[_B] = epoch
+            else:
+                self.encoder.recover(
+                    np.array(self._b, copy=True), np.array(self._c, copy=True), lost
+                )
+        self.local = self.layout.unpack_into(self._b, self._arrays)
+        self._charge_copy(self._b.nbytes)
+        self.ctx.world.barrier()
+        ctx.phase("restore.done")
+
+        self.n_restores += 1
+        return RestoreReport(
+            epoch=epoch,
+            source="checkpoint",
+            reconstructed=tuple(missing),
+            local=dict(self.local),
+        )

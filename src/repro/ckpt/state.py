@@ -1,0 +1,163 @@
+"""Flat serialization of protected state (A1 arrays + A2 local variables).
+
+Every checkpoint protocol reasons about one *flat buffer* per rank: the
+concatenated bytes of the registered workspace arrays (the paper's A1)
+followed by a fixed-capacity area holding the pickled local-variable dict
+(the paper's A2 — "loop iterators or other scalar variables", §3.1), then
+zero padding up to the group's agreed stripe-aligned size.
+
+Layout::
+
+    [array 0 bytes][array 1 bytes]...[u64 a2_len][a2 pickle][zeros.....]
+
+The fixed A2 capacity mirrors the paper's "small second-buffer (B2)
+allocated for simplicity"; overflowing it raises, pointing the user at the
+``a2_capacity`` knob.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Slot:
+    name: str
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    offset: int
+    nbytes: int
+
+
+class StateLayout:
+    """Describes how named arrays and the A2 dict map into a flat buffer.
+
+    Register arrays with :meth:`add`, then :meth:`freeze`; afterwards
+    :meth:`pack`/:meth:`unpack_into` convert between live arrays and flat
+    ``uint8`` buffers of length :attr:`raw_size` (or longer — padding is
+    ignored on unpack).
+    """
+
+    def __init__(self, a2_capacity: int = 4096):
+        if a2_capacity < 64:
+            raise ValueError("a2_capacity must be >= 64")
+        self.a2_capacity = a2_capacity
+        self._slots: List[_Slot] = []
+        self._frozen = False
+        self._arrays_size = 0
+
+    def add(self, name: str, shape, dtype) -> None:
+        """Register one workspace array before freezing."""
+        if self._frozen:
+            raise RuntimeError("layout already frozen")
+        if any(s.name == name for s in self._slots):
+            raise ValueError(f"duplicate array name {name!r}")
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dt.itemsize
+        self._slots.append(
+            _Slot(name=name, shape=shape, dtype=dt, offset=self._arrays_size, nbytes=nbytes)
+        )
+        self._arrays_size += nbytes
+
+    def freeze(self) -> None:
+        self._frozen = True
+
+    @property
+    def names(self) -> List[str]:
+        return [s.name for s in self._slots]
+
+    @property
+    def raw_size(self) -> int:
+        """Bytes needed before stripe padding: arrays + A2 header + A2 area."""
+        return self._arrays_size + 8 + self.a2_capacity
+
+    def spec_of(self, name: str) -> Tuple[Tuple[int, ...], np.dtype]:
+        for s in self._slots:
+            if s.name == name:
+                return s.shape, s.dtype
+        raise KeyError(name)
+
+    # -- pack / unpack -----------------------------------------------------------
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("freeze() the layout first")
+
+    def pack_a2(self, local: Dict[str, Any]) -> np.ndarray:
+        """Serialize the A2 dict into a ``uint8`` blob of fixed size
+        ``8 + a2_capacity`` (length header + padded pickle)."""
+        blob = pickle.dumps(dict(local), protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > self.a2_capacity:
+            raise ValueError(
+                f"A2 state is {len(blob)}B, exceeds a2_capacity="
+                f"{self.a2_capacity}B; raise a2_capacity or shrink local state"
+            )
+        out = np.zeros(8 + self.a2_capacity, dtype=np.uint8)
+        out[:8] = np.frombuffer(np.uint64(len(blob)).tobytes(), dtype=np.uint8)
+        out[8 : 8 + len(blob)] = np.frombuffer(blob, dtype=np.uint8)
+        return out
+
+    def unpack_a2(self, blob: np.ndarray) -> Dict[str, Any]:
+        n = int(np.frombuffer(blob[:8].tobytes(), dtype=np.uint64)[0])
+        if n > self.a2_capacity:
+            raise ValueError(f"corrupt A2 header: length {n}")
+        return pickle.loads(blob[8 : 8 + n].tobytes())
+
+    def pack(
+        self,
+        arrays: Dict[str, np.ndarray],
+        local: Dict[str, Any],
+        out: np.ndarray | None = None,
+        total_size: int | None = None,
+    ) -> np.ndarray:
+        """Serialize arrays + local dict into a flat ``uint8`` buffer.
+
+        ``total_size`` (>= :attr:`raw_size`) adds zero padding, used to meet
+        the group's stripe-aligned size.
+        """
+        self._require_frozen()
+        size = total_size or self.raw_size
+        if size < self.raw_size:
+            raise ValueError(f"total_size {size} < raw_size {self.raw_size}")
+        if out is None:
+            out = np.zeros(size, dtype=np.uint8)
+        elif len(out) != size or out.dtype != np.uint8:
+            raise ValueError("out buffer has wrong size/dtype")
+        else:
+            out[self.raw_size :] = 0
+        for s in self._slots:
+            a = arrays[s.name]
+            if a.shape != s.shape or a.dtype != s.dtype:
+                raise ValueError(
+                    f"array {s.name!r} is {a.shape}/{a.dtype}, "
+                    f"layout expects {s.shape}/{s.dtype}"
+                )
+            out[s.offset : s.offset + s.nbytes] = np.ascontiguousarray(a).view(
+                np.uint8
+            ).reshape(-1)
+        out[self._arrays_size : self.raw_size] = self.pack_a2(local)
+        return out
+
+    def unpack_into(
+        self, flat: np.ndarray, arrays: Dict[str, np.ndarray]
+    ) -> Dict[str, Any]:
+        """Write array contents from ``flat`` into the given live arrays
+        (in place) and return the A2 dict."""
+        self._require_frozen()
+        if len(flat) < self.raw_size:
+            raise ValueError(f"flat buffer too small: {len(flat)} < {self.raw_size}")
+        for s in self._slots:
+            dst = arrays[s.name]
+            if dst.shape != s.shape or dst.dtype != s.dtype:
+                raise ValueError(f"array {s.name!r} mismatch on unpack")
+            if not dst.flags.c_contiguous:
+                raise ValueError(
+                    f"array {s.name!r} must be C-contiguous for in-place restore"
+                )
+            raw = flat[s.offset : s.offset + s.nbytes]
+            dst.reshape(-1).view(np.uint8)[:] = raw
+        return self.unpack_a2(flat[self._arrays_size : self.raw_size])

@@ -1,0 +1,217 @@
+"""Stripe layout and checksum arithmetic for group encoding (paper §2.1).
+
+A group of ``N`` processes protects each member's ``m``-byte buffer with a
+RAID-5-like layout (paper Fig. 1): each process splits its buffer into
+``N-1`` equal stripes and additionally hosts **one checksum stripe**.
+Conceptually every process owns a row of ``N`` slots; slot ``i`` of process
+``i`` is its checksum slot, and its data stripes fill the remaining slots in
+order.  Checksum ``i`` combines slot ``i`` of every *other* process:
+
+    X_S = X_1 (+) X_2 (+) ... (+) X_{N-1}            (paper Eq. 1)
+
+where ``(+)`` is either bitwise XOR over 64-bit words (``MPI_BXOR``) or
+numeric addition over doubles (``MPI_SUM``); both are supported, XOR being
+the default as in the paper (§2.2).
+
+Losing one process loses its ``N-1`` data stripes and one checksum stripe;
+every lost data stripe sits in a distinct slot whose checksum survives on a
+distinct healthy process, so single-failure recovery is always possible.
+
+All functions here are pure numpy — the communication side lives in
+:mod:`repro.ckpt.encoding`.  Buffers must be ``uint8`` arrays whose length
+is a multiple of ``8 * (N - 1)`` (see :func:`padded_size`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Supported combine operators.
+OPS = ("xor", "sum")
+
+
+def padded_size(nbytes: int, group_size: int) -> int:
+    """Smallest buffer size >= ``nbytes`` divisible into ``group_size - 1``
+    stripes of whole 64-bit words."""
+    if group_size < 2:
+        raise ValueError("group_size must be >= 2")
+    unit = 8 * (group_size - 1)
+    return ((max(1, nbytes) + unit - 1) // unit) * unit
+
+
+def checksum_size(nbytes_padded: int, group_size: int) -> int:
+    """Checksum stripe size: 1/(N-1) of the protected buffer (paper §3.1)."""
+    n_stripes = group_size - 1
+    if nbytes_padded % (8 * n_stripes):
+        raise ValueError(f"{nbytes_padded} not a multiple of {8 * n_stripes}")
+    return nbytes_padded // n_stripes
+
+
+def slot_of_stripe(proc: int, stripe: int) -> int:
+    """Slot index hosting data stripe ``stripe`` of process ``proc``.
+
+    Process ``proc``'s checksum occupies slot ``proc``; its data stripes
+    fill the remaining slots in increasing order.
+    """
+    return stripe if stripe < proc else stripe + 1
+
+
+def stripe_in_slot(proc: int, slot: int) -> int:
+    """Inverse of :func:`slot_of_stripe`; ``slot`` must differ from ``proc``."""
+    if slot == proc:
+        raise ValueError(f"slot {slot} is process {proc}'s checksum slot")
+    return slot if slot < proc else slot - 1
+
+
+def _views(buf: np.ndarray, op: str) -> np.ndarray:
+    if buf.dtype != np.uint8:
+        raise TypeError(f"expected uint8 buffer, got {buf.dtype}")
+    if op == "xor":
+        return buf.view(np.uint64)
+    if op == "sum":
+        return buf.view(np.float64)
+    raise ValueError(f"unknown op {op!r}; choose from {OPS}")
+
+
+def _stripe_view(buf: np.ndarray, stripe: int, n_stripes: int, op: str) -> np.ndarray:
+    words = _views(buf, op)
+    if len(words) % n_stripes:
+        raise ValueError("buffer not divisible into stripes; pad first")
+    L = len(words) // n_stripes
+    return words[stripe * L : (stripe + 1) * L]
+
+
+def build_checksums(
+    buffers: Sequence[np.ndarray], op: str = "xor"
+) -> List[np.ndarray]:
+    """Compute all ``N`` checksum stripes for a group.
+
+    Parameters
+    ----------
+    buffers:
+        One padded ``uint8`` buffer per group member, all the same length.
+    op:
+        ``"xor"`` (bit-exact) or ``"sum"`` (numeric doubles).
+
+    Returns
+    -------
+    list of ``uint8`` arrays; element ``i`` is the checksum stripe hosted by
+    process ``i`` (combining slot ``i`` of every other process).
+    """
+    n = len(buffers)
+    if n < 2:
+        raise ValueError("need a group of >= 2")
+    size = len(buffers[0])
+    if any(len(b) != size for b in buffers):
+        raise ValueError("group buffers must share one padded size")
+    n_stripes = n - 1
+    checksums: List[np.ndarray] = []
+    for i in range(n):
+        acc = None
+        for j in range(n):
+            if j == i:
+                continue
+            stripe = stripe_in_slot(j, i)
+            v = _stripe_view(buffers[j], stripe, n_stripes, op)
+            if acc is None:
+                acc = v.copy()
+            elif op == "xor":
+                acc ^= v
+            else:
+                acc += v
+        assert acc is not None
+        checksums.append(acc.view(np.uint8).copy())
+    return checksums
+
+
+def reconstruct(
+    survivors: Dict[int, np.ndarray],
+    survivor_checksums: Dict[int, np.ndarray],
+    missing: int,
+    group_size: int,
+    op: str = "xor",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Rebuild the lost process's buffer and checksum stripe.
+
+    Parameters
+    ----------
+    survivors:
+        ``{proc: padded uint8 buffer}`` for every process except ``missing``.
+    survivor_checksums:
+        ``{proc: checksum stripe}`` for the same processes.
+    missing:
+        Index of the lost process.
+    group_size:
+        N.
+
+    Returns
+    -------
+    ``(buffer, checksum)`` of the lost process.
+
+    Raises
+    ------
+    ValueError if more than one process is missing — the RAID-5 layout
+    tolerates a single loss per group (use :mod:`repro.ckpt.raid6` for two).
+    """
+    n = group_size
+    expect = set(range(n)) - {missing}
+    if set(survivors) != expect or set(survivor_checksums) != expect:
+        raise ValueError(
+            f"need buffers+checksums from exactly the {n - 1} survivors "
+            f"{sorted(expect)}; got {sorted(survivors)} / {sorted(survivor_checksums)}"
+        )
+    size = len(next(iter(survivors.values())))
+    n_stripes = n - 1
+    out = np.zeros(size, dtype=np.uint8)
+
+    # every data stripe of `missing` lives in some slot i != missing whose
+    # checksum survives on process i
+    for stripe in range(n_stripes):
+        slot = slot_of_stripe(missing, stripe)
+        acc = _views(survivor_checksums[slot].copy(), op)
+        for j in expect:
+            if j == slot:
+                continue  # process `slot` hosts the checksum, no data in its own slot
+            v = _stripe_view(survivors[j], stripe_in_slot(j, slot), n_stripes, op)
+            if op == "xor":
+                acc ^= v
+            else:
+                acc -= v
+        dst = _stripe_view(out, stripe, n_stripes, op)
+        dst[:] = acc
+
+    # the lost checksum stripe (slot `missing`) is recomputed from survivors
+    cs_acc = None
+    for j in expect:
+        v = _stripe_view(survivors[j], stripe_in_slot(j, missing), n_stripes, op)
+        if cs_acc is None:
+            cs_acc = v.copy()
+        elif op == "xor":
+            cs_acc ^= v
+        else:
+            cs_acc += v
+    assert cs_acc is not None
+    return out, cs_acc.view(np.uint8).copy()
+
+
+def verify_group(
+    buffers: Sequence[np.ndarray],
+    checksums: Sequence[np.ndarray],
+    op: str = "xor",
+) -> bool:
+    """True when ``checksums`` are consistent with ``buffers``.
+
+    For the ``sum`` operator, float checksums are compared to within a few
+    ulps of accumulated rounding.
+    """
+    fresh = build_checksums(buffers, op)
+    if op == "xor":
+        return all(np.array_equal(a, b) for a, b in zip(fresh, checksums))
+    return all(
+        np.allclose(
+            a.view(np.float64), b.view(np.float64), rtol=1e-12, atol=1e-300
+        )
+        for a, b in zip(fresh, checksums)
+    )

@@ -1,0 +1,232 @@
+"""Double-parity (RAID-6 style) stripe layout over a group — the paper's
+"more complex encoding methods, such as RAID-6 and Reed-Solomon, to
+tolerate more node failures" (§2.1), worked out for the self-checkpoint
+setting.
+
+Layout
+------
+A group of ``N`` members (N >= 4) protects each member's padded buffer by
+splitting it into ``N-2`` data stripes.  Conceptually there are ``N``
+*slot rows*; in row ``r``:
+
+* the **P parity** (plain XOR) lives on member ``r``,
+* the **Q parity** (GF(2^8) Reed-Solomon) lives on member ``(r+1) mod N``,
+* the remaining ``N-2`` members each contribute one data stripe, in
+  member-index order.
+
+Every member therefore hosts exactly one P stripe, one Q stripe, and
+``N-2`` data stripes.  Losing any **two** members removes at most two
+entries from each row — data and/or parity — which the (P, Q) pair decodes
+(:class:`repro.ckpt.raid6.RSCodec` handles every erasure case).
+
+Space
+-----
+Checksum storage per member is ``2m/(N-2)`` (one P + one Q stripe), so the
+self-checkpoint totals become ``2M + 4M/(N-2)`` and the available fraction
+``(N-2)/2N``.  Notably this equals the *single*-failure XOR scheme at group
+size ``N/2`` — same memory, but any-2-of-N tolerance instead of 1-per-N/2:
+the ablation benchmark quantifies the trade.
+
+All functions operate on ``uint8`` buffers whose length is a multiple of
+``8 * (N-2)`` (see :func:`padded_size_rs`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ckpt.raid6 import RSCodec
+
+
+def padded_size_rs(nbytes: int, group_size: int) -> int:
+    """Smallest size >= ``nbytes`` divisible into ``N-2`` word stripes."""
+    if group_size < 4:
+        raise ValueError("double-parity groups need >= 4 members")
+    unit = 8 * (group_size - 2)
+    return ((max(1, nbytes) + unit - 1) // unit) * unit
+
+
+def checksum_size_rs(nbytes_padded: int, group_size: int) -> int:
+    """Per-member checksum bytes: one P + one Q stripe = 2m/(N-2)."""
+    n_stripes = group_size - 2
+    if nbytes_padded % (8 * n_stripes):
+        raise ValueError(f"{nbytes_padded} not stripe aligned")
+    return 2 * (nbytes_padded // n_stripes)
+
+
+def row_roles(row: int, group_size: int) -> Tuple[int, int, List[int]]:
+    """(P holder, Q holder, data holders in member order) for a slot row."""
+    n = group_size
+    p = row % n
+    q = (row + 1) % n
+    data = [j for j in range(n) if j != p and j != q]
+    return p, q, data
+
+
+def data_row_of(member: int, stripe: int, group_size: int) -> int:
+    """The slot row in which ``member``'s data stripe ``stripe`` lives.
+
+    Member ``j`` contributes data to every row where it is neither P nor Q
+    holder — ``N-2`` rows; this maps local stripe index to row index.
+    """
+    n = group_size
+    count = -1
+    for row in range(n):
+        p, q, _ = row_roles(row, n)
+        if member != p and member != q:
+            count += 1
+            if count == stripe:
+                return row
+    raise ValueError(f"member {member} has only {count + 1} data stripes")
+
+
+def _stripe(buf: np.ndarray, idx: int, n_stripes: int) -> np.ndarray:
+    size = len(buf) // n_stripes
+    return buf[idx * size : (idx + 1) * size]
+
+
+def build_parity(
+    buffers: Sequence[np.ndarray], group_size: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Compute (P stripe, Q stripe) hosted by each member.
+
+    ``buffers[j]`` is member ``j``'s padded uint8 buffer.  Member ``j``
+    hosts P of row ``j`` and Q of row ``j-1 mod N``.
+    """
+    n = group_size
+    if len(buffers) != n:
+        raise ValueError(f"need {n} buffers, got {len(buffers)}")
+    size = len(buffers[0])
+    if any(len(b) != size or b.dtype != np.uint8 for b in buffers):
+        raise ValueError("buffers must be equal-length uint8")
+    n_stripes = n - 2
+    codec = RSCodec(n_stripes)
+
+    row_p: Dict[int, np.ndarray] = {}
+    row_q: Dict[int, np.ndarray] = {}
+    for row in range(n):
+        _, _, data_members = row_roles(row, n)
+        contributions = []
+        for pos, j in enumerate(data_members):
+            # member j's stripe index within its own buffer for this row
+            stripe_idx = _stripe_index_of(j, row, n)
+            contributions.append(_stripe(buffers[j], stripe_idx, n_stripes))
+        p, q = codec.encode(contributions)
+        row_p[row] = p
+        row_q[row] = q
+
+    out = []
+    for member in range(n):
+        out.append((row_p[member], row_q[(member - 1) % n]))
+    return out
+
+
+def _stripe_index_of(member: int, row: int, group_size: int) -> int:
+    """Inverse of :func:`data_row_of`: the local stripe index of
+    ``member``'s contribution to ``row``."""
+    n = group_size
+    count = -1
+    for r in range(n):
+        p, q, _ = row_roles(r, n)
+        if member != p and member != q:
+            count += 1
+            if r == row:
+                return count
+    raise ValueError(f"member {member} holds no data in row {row}")
+
+
+def reconstruct_rs(
+    survivors: Dict[int, np.ndarray],
+    survivor_parity: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    missing: Sequence[int],
+    group_size: int,
+) -> Dict[int, Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]]:
+    """Rebuild up to two lost members' buffers and parity stripes.
+
+    Parameters
+    ----------
+    survivors:
+        ``{member: buffer}`` for the healthy members.
+    survivor_parity:
+        ``{member: (P stripe, Q stripe)}`` for the same members.
+    missing:
+        One or two lost member indices.
+
+    Returns
+    -------
+    ``{member: (buffer, (P, Q))}`` for each missing member.
+    """
+    n = group_size
+    missing = sorted(set(missing))
+    if not 1 <= len(missing) <= 2:
+        raise ValueError("double-parity recovery handles 1 or 2 losses")
+    expect = set(range(n)) - set(missing)
+    if set(survivors) != expect or set(survivor_parity) != expect:
+        raise ValueError("need buffers+parity from exactly the survivors")
+    size = len(next(iter(survivors.values())))
+    n_stripes = n - 2
+    stripe_size = size // n_stripes
+    codec = RSCodec(n_stripes)
+
+    rebuilt_bufs = {m: np.zeros(size, dtype=np.uint8) for m in missing}
+    rebuilt_p: Dict[int, np.ndarray] = {}
+    rebuilt_q: Dict[int, np.ndarray] = {}
+
+    for row in range(n):
+        p_holder, q_holder, data_members = row_roles(row, n)
+        p = (
+            survivor_parity[p_holder][0]
+            if p_holder not in missing
+            else None
+        )
+        q = (
+            survivor_parity[q_holder][1]
+            if q_holder not in missing
+            else None
+        )
+        present: Dict[int, np.ndarray] = {}
+        lost_positions: Dict[int, int] = {}  # codec position -> member
+        for pos, j in enumerate(data_members):
+            if j in missing:
+                lost_positions[pos] = j
+            else:
+                present[pos] = _stripe(
+                    survivors[j], _stripe_index_of(j, row, n), n_stripes
+                )
+        decoded = codec.decode(present, p, q)
+        for pos, member in lost_positions.items():
+            idx = _stripe_index_of(member, row, n)
+            _stripe(rebuilt_bufs[member], idx, n_stripes)[:] = decoded[pos]
+        # recompute lost parity stripes from the (now complete) row data
+        if p is None or q is None:
+            full = [
+                decoded[pos] if pos in decoded else present[pos]
+                for pos in range(n_stripes)
+            ]
+            new_p, new_q = codec.encode(full)
+            if p is None:
+                rebuilt_p[p_holder] = new_p
+            if q is None:
+                rebuilt_q[q_holder] = new_q
+
+    out: Dict[int, Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]] = {}
+    for m in missing:
+        p_stripe = rebuilt_p.get(m, np.zeros(stripe_size, dtype=np.uint8))
+        q_stripe = rebuilt_q.get(m, np.zeros(stripe_size, dtype=np.uint8))
+        out[m] = (rebuilt_bufs[m], (p_stripe, q_stripe))
+    return out
+
+
+def verify_group_rs(
+    buffers: Sequence[np.ndarray],
+    parity: Sequence[Tuple[np.ndarray, np.ndarray]],
+    group_size: int,
+) -> bool:
+    """True when the (P, Q) stripes are consistent with the buffers."""
+    fresh = build_parity(buffers, group_size)
+    return all(
+        np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        for a, b in zip(fresh, parity)
+    )

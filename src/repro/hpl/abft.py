@@ -1,0 +1,333 @@
+"""ABFT-HPL baseline: algorithm-based fault tolerance via checksum columns.
+
+The Huang-Abraham family of schemes (paper refs [20, 36]) augments the
+matrix with checksum data that the elimination itself keeps consistent, so
+*soft errors* (bit flips / silent data corruption) can be detected and
+corrected with low overhead.  We maintain two checksum vectors that are
+transformed exactly like the right-hand side:
+
+    c1 = A @ 1          (plain row sums)
+    c2 = A @ w,  w_j = j+1   (index-weighted row sums)
+
+Row operations are linear, so at any panel boundary the transformed matrix
+``[0 | trailing]`` (factored rows hold U) must satisfy ``c1 = rowsum`` and
+``c2 = weighted rowsum`` row by row.  A single corrupted entry in row ``g``
+shows up as ``delta = c1[g] - rowsum(g)``; the weighted mismatch then
+pinpoints the column: ``j = c2-mismatch / delta - 1``, and the entry is
+repaired in place.
+
+What ABFT **cannot** do — the paper's central criticism (§1, §6.2) — is
+survive a permanent node loss: all its state lives in ordinary process
+memory, and the MPI job aborts.  ``abft_hpl_main`` therefore allocates
+nothing in SHM and performs no checkpointing; under the power-off test the
+daemon finds nothing to restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.hpl import matgen
+from repro.hpl.config import HPLConfig
+from repro.hpl.core import (
+    GEMM_EFFICIENCY,
+    PANEL_EFFICIENCY,
+    HPLResult,
+    verify,
+)
+from repro.hpl.grid import BlockCyclicMap, ProcessGrid
+from repro.sim.runtime import RankContext
+
+#: mismatch below this (relative to row magnitude) is rounding, not an error
+_DETECT_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SoftErrorInjection:
+    """Flip one matrix entry after a given panel's update."""
+
+    panel: int
+    world_rank: int
+    magnitude: float = 1.0
+
+
+@dataclass
+class ABFTResult:
+    hpl: HPLResult
+    errors_detected: int
+    errors_corrected: int
+    checks_run: int
+
+
+class _ChecksumState:
+    """The two checksum vectors, updated like extra rhs columns."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        cfg: HPLConfig,
+        grid: ProcessGrid,
+        rowmap: BlockCyclicMap,
+        colmap: BlockCyclicMap,
+        a_loc: np.ndarray,
+    ):
+        self.ctx = ctx
+        self.cfg = cfg
+        self.grid = grid
+        self.rowmap = rowmap
+        self.colmap = colmap
+        my_gcols = colmap.globals_of(grid.mycol)
+        w = (my_gcols + 1).astype(np.float64)
+        # partial sums over local columns, completed across the process row
+        self.c1 = grid.row_comm.allreduce(a_loc @ np.ones(len(my_gcols)))
+        self.c2 = grid.row_comm.allreduce(a_loc @ w)
+        self.detected = 0
+        self.corrected = 0
+        self.checks = 0
+
+    def apply_panel_ops(
+        self,
+        panel: np.ndarray,
+        piv: np.ndarray,
+        k0: int,
+        nbk: int,
+        pr: int,
+    ) -> None:
+        """Mirror the row swaps / L11 solve / L21 update on c1, c2."""
+        grid, rowmap, ctx = self.grid, self.rowmap, self.ctx
+        # row swaps (checksums are replicated across process columns, like b)
+        for j, r2 in enumerate(piv):
+            r1 = k0 + j
+            r2 = int(r2)
+            if r1 == r2:
+                continue
+            o1, o2 = rowmap.owner(r1), rowmap.owner(r2)
+            tag = 5000 + k0 + j
+            if o1 == o2:
+                if grid.myrow == o1:
+                    l1, l2 = rowmap.local_index(r1), rowmap.local_index(r2)
+                    for c in (self.c1, self.c2):
+                        c[[l1, l2]] = c[[l2, l1]]
+            elif grid.myrow == o1:
+                l1 = rowmap.local_index(r1)
+                mine = (float(self.c1[l1]), float(self.c2[l1]))
+                self.c1[l1], self.c2[l1] = grid.col_comm.sendrecv(
+                    mine, dest=o2, source=o2, sendtag=tag, recvtag=tag
+                )
+            elif grid.myrow == o2:
+                l2 = rowmap.local_index(r2)
+                mine = (float(self.c1[l2]), float(self.c2[l2]))
+                self.c1[l2], self.c2[l2] = grid.col_comm.sendrecv(
+                    mine, dest=o1, source=o1, sendtag=tag, recvtag=tag
+                )
+        # L11 solve on the pivot block rows, then the L21 update below
+        l11 = panel[:nbk, :nbk]
+        y = None
+        if grid.myrow == pr:
+            lr0 = rowmap.local_index(k0)
+            y1 = sla.solve_triangular(
+                l11, self.c1[lr0 : lr0 + nbk], lower=True, unit_diagonal=True
+            )
+            y2 = sla.solve_triangular(
+                l11, self.c2[lr0 : lr0 + nbk], lower=True, unit_diagonal=True
+            )
+            self.c1[lr0 : lr0 + nbk] = y1
+            self.c2[lr0 : lr0 + nbk] = y2
+            y = (y1, y2)
+        y1, y2 = grid.col_comm.bcast(y, root=pr)
+        lr_trail = rowmap.local_start(grid.myrow, k0 + nbk)
+        my_grows = rowmap.globals_of(grid.myrow)
+        l21 = panel[my_grows[lr_trail:] - k0, :]
+        if l21.size:
+            self.c1[lr_trail:] -= l21 @ y1
+            self.c2[lr_trail:] -= l21 @ y2
+        ctx.compute(4.0 * l21.shape[0] * nbk, efficiency=GEMM_EFFICIENCY)
+
+    def check_and_correct(self, a_loc: np.ndarray, k_next: int) -> None:
+        """Verify the checksum invariant; locate and repair a single
+        corrupted entry per row if found.
+
+        For factored rows (global < ``k_next * nb``) the transformed row is
+        its U part; trailing rows are their trailing columns.
+        """
+        grid, rowmap, colmap, ctx = self.grid, self.rowmap, self.colmap, self.ctx
+        my_grows = rowmap.globals_of(grid.myrow)
+        my_gcols = colmap.globals_of(grid.mycol)
+        w = (my_gcols + 1).astype(np.float64)
+        boundary = k_next * self.cfg.nb
+
+        # each row's live columns: j >= row's own global index (U part) for
+        # factored rows, j >= boundary for trailing rows
+        cutoffs = np.where(my_grows < boundary, my_grows, boundary)
+        mask = my_gcols[None, :] >= cutoffs[:, None]
+        s1 = grid.row_comm.allreduce((a_loc * mask) @ np.ones(len(my_gcols)))
+        s2 = grid.row_comm.allreduce((a_loc * mask) @ w)
+        ctx.compute(4.0 * a_loc.size, efficiency=GEMM_EFFICIENCY)
+        self.checks += 1
+
+        scale = np.maximum(np.abs(s1), 1.0)
+        bad = np.nonzero(np.abs(self.c1 - s1) > _DETECT_RTOL * scale)[0]
+        for lr in bad:
+            delta = float(self.c1[lr] - s1[lr])
+            wdelta = float(self.c2[lr] - s2[lr])
+            self.detected += 1
+            gcol = int(round(wdelta / delta)) - 1
+            owner_pc = colmap.owner(gcol) if 0 <= gcol < self.cfg.n else -1
+            if owner_pc == grid.mycol:
+                a_loc[lr, colmap.local_index(gcol)] += delta
+            if 0 <= gcol < self.cfg.n:
+                self.corrected += 1
+
+
+def abft_hpl_main(
+    ctx: RankContext,
+    cfg: HPLConfig,
+    *,
+    inject: Optional[SoftErrorInjection] = None,
+    check_every: int = 1,
+) -> ABFTResult:
+    """ABFT-HPL rank main: HPL + checksum maintenance + per-panel checks.
+
+    Soft errors injected via ``inject`` are detected and repaired; node
+    losses are fatal (no state survives the process).
+    """
+    grid = ProcessGrid(ctx.world, cfg.p, cfg.q)
+    rowmap = BlockCyclicMap(cfg.n, cfg.nb, cfg.p)
+    colmap = BlockCyclicMap(cfg.n, cfg.nb, cfg.q)
+
+    a_loc = matgen.generate_local_matrix(cfg, rowmap, colmap, grid.myrow, grid.mycol)
+    b_loc = matgen.generate_local_rhs(cfg, rowmap, grid.myrow)
+    ctx.malloc(a_loc.nbytes + b_loc.nbytes)
+
+    checksums = _ChecksumState(ctx, cfg, grid, rowmap, colmap, a_loc)
+
+    def on_panel_end(k: int) -> None:
+        # the panel's transforms were applied inside hpl_solve; the
+        # checksum state mirrored them through _PanelObserver below
+        if (k + 1) % check_every == 0:
+            if inject is not None and inject.panel == k and (
+                ctx.world.rank == inject.world_rank
+            ):
+                lr = a_loc.shape[0] - 1
+                lc = a_loc.shape[1] - 1
+                a_loc[lr, lc] += inject.magnitude  # silent corruption
+            checksums.check_and_correct(a_loc, k + 1)
+
+    t_start = ctx.clock
+    x, timers = _hpl_solve_with_observer(
+        ctx, cfg, grid, rowmap, colmap, a_loc, b_loc, checksums, on_panel_end
+    )
+    residual, passed = verify(ctx, cfg, grid, rowmap, colmap, x)
+    elapsed = ctx.clock - t_start
+
+    return ABFTResult(
+        hpl=HPLResult(
+            config=cfg,
+            x=x,
+            residual=residual,
+            passed=passed,
+            elapsed_s=elapsed,
+            gflops=cfg.flops / elapsed / 1e9 if elapsed > 0 else 0.0,
+            timers=timers,
+        ),
+        errors_detected=checksums.detected,
+        errors_corrected=checksums.corrected,
+        checks_run=checksums.checks,
+    )
+
+
+def _hpl_solve_with_observer(
+    ctx, cfg, grid, rowmap, colmap, a_loc, b_loc, checksums, on_panel_end
+):
+    """The HPL elimination loop with the checksum vectors transformed in
+    lock-step.
+
+    The checksum transforms need each panel's factors and pivots *before*
+    they are discarded, so the loop is inlined here (sharing the phase
+    helpers with :mod:`repro.hpl.core`) rather than driven through
+    ``hpl_solve``'s end-of-panel hook."""
+    from repro.hpl import core as _core
+
+    n, nb = cfg.n, cfg.nb
+    nbl = cfg.n_blocks
+    my_grows = rowmap.globals_of(grid.myrow)
+    timers = _core.HPLTimers()
+
+    for k in range(nbl):
+        k0 = k * nb
+        nbk = min(nb, n - k0)
+        pr = k % grid.P
+        pc = k % grid.Q
+        root_rank = grid.rank_of(pr, pc)
+        t0 = ctx.clock
+
+        panel_piv = None
+        if grid.mycol == pc:
+            lr = rowmap.local_start(grid.myrow, k0)
+            lc0 = colmap.local_index(k0)
+            contrib = (my_grows[lr:], a_loc[lr:, lc0 : lc0 + nbk].copy())
+            parts = grid.col_comm.gather(contrib, root=pr)
+            if grid.myrow == pr:
+                panel = np.empty((n - k0, nbk))
+                for g_rows, data in parts:
+                    panel[g_rows - k0, :] = data
+                piv = _core._factor_panel(ctx, panel, k0)
+                panel_piv = (panel, piv)
+        panel, piv = grid.comm.bcast(panel_piv, root=root_rank)
+        timers.panel += ctx.clock - t0
+        t0 = ctx.clock
+
+        lc_trail = colmap.local_start(grid.mycol, k0 + nbk)
+        _core._apply_row_swaps(
+            ctx, grid, rowmap, a_loc, b_loc, piv, k0, lc_trail, tag_base=k
+        )
+        if grid.mycol == pc:
+            lr = rowmap.local_start(grid.myrow, k0)
+            lc0 = colmap.local_index(k0)
+            a_loc[lr:, lc0 : lc0 + nbk] = panel[my_grows[lr:] - k0, :]
+        timers.swap += ctx.clock - t0
+        t0 = ctx.clock
+
+        l11 = panel[:nbk, :nbk]
+        u12_y = None
+        if grid.myrow == pr:
+            lr0 = rowmap.local_index(k0)
+            a12 = a_loc[lr0 : lr0 + nbk, lc_trail:]
+            u12 = sla.solve_triangular(l11, a12, lower=True, unit_diagonal=True)
+            yk = sla.solve_triangular(
+                l11, b_loc[lr0 : lr0 + nbk], lower=True, unit_diagonal=True
+            )
+            a_loc[lr0 : lr0 + nbk, lc_trail:] = u12
+            b_loc[lr0 : lr0 + nbk] = yk
+            ctx.compute(
+                float(nbk) * nbk * (a12.shape[1] + 1),
+                efficiency=PANEL_EFFICIENCY,
+            )
+            u12_y = (u12, yk)
+        u12, yk = grid.col_comm.bcast(u12_y, root=pr)
+
+        lr_trail = rowmap.local_start(grid.myrow, k0 + nbk)
+        l21 = panel[my_grows[lr_trail:] - k0, :]
+        if l21.size and u12.size:
+            a_loc[lr_trail:, lc_trail:] -= l21 @ u12
+        if l21.size:
+            b_loc[lr_trail:] -= l21 @ yk
+        ctx.compute(
+            2.0 * l21.shape[0] * nbk * (u12.shape[1] + 1),
+            efficiency=GEMM_EFFICIENCY,
+        )
+        timers.update += ctx.clock - t0
+
+        # mirror the panel's row ops onto the checksum vectors (ABFT's
+        # extra work, charged above the plain HPL cost)
+        checksums.apply_panel_ops(panel, piv, k0, nbk, pr)
+        on_panel_end(k)
+
+    t0 = ctx.clock
+    x = _core._back_substitute(ctx, cfg, grid, rowmap, colmap, a_loc, b_loc)
+    timers.backsub += ctx.clock - t0
+    return x, timers

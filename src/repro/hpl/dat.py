@@ -1,0 +1,110 @@
+"""HPL.dat parsing and generation.
+
+The netlib HPL benchmark is configured by a fixed-format ``HPL.dat`` file:
+line-oriented, value-first, with a comment after each value, and sweep
+lines listing "# of Ns / Ns / # of NBs / NBs / ..." (one run per
+(N, NB, P, Q) combination).  This module reads the subset of that format
+needed to drive :class:`repro.hpl.config.HPLConfig` sweeps — so existing
+HPL.dat files work unchanged — and writes equivalent files back.
+
+Only the problem-geometry lines are interpreted; algorithmic tuning knobs
+(PFACTs, bcast variants, lookahead depths) are accepted and ignored, since
+this implementation has a single code path for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hpl.config import HPLConfig
+
+
+@dataclass(frozen=True)
+class HPLDat:
+    """The geometry content of one HPL.dat file."""
+
+    ns: List[int]
+    nbs: List[int]
+    grids: List[tuple]  # (P, Q) pairs
+    seed: int = 42
+
+    def configs(self) -> List[HPLConfig]:
+        """One config per (N, NB, (P, Q)) combination, in HPL's order."""
+        out = []
+        for p, q in self.grids:
+            for nb in self.nbs:
+                for n in self.ns:
+                    out.append(HPLConfig(n=n, nb=nb, p=p, q=q, seed=self.seed))
+        return out
+
+
+def _values(line: str) -> List[str]:
+    """The whitespace-separated value tokens before the comment text.
+
+    HPL.dat lines look like ``4            # of problems sizes (N)`` —
+    values first, then a human label; tokens stop at the first token that
+    is not numeric.
+    """
+    toks = line.split()
+    vals = []
+    for t in toks:
+        try:
+            float(t)
+        except ValueError:
+            break
+        vals.append(t)
+    return vals
+
+
+def parse_hpl_dat(text: str) -> HPLDat:
+    """Parse the geometry lines of an HPL.dat file.
+
+    Raises :class:`ValueError` on files whose counts and lists disagree.
+    """
+    lines = [l for l in text.splitlines() if l.strip()]
+    if len(lines) < 12:
+        raise ValueError(
+            f"HPL.dat needs at least 12 lines (got {len(lines)}); "
+            "see examples/HPL.dat for the expected layout"
+        )
+    # lines[0:2] are the header comment lines; [2] output file; [3] device
+    n_ns = int(_values(lines[4])[0])
+    ns = [int(v) for v in _values(lines[5])][:n_ns]
+    if len(ns) != n_ns:
+        raise ValueError(f"expected {n_ns} problem sizes, found {len(ns)}")
+    n_nbs = int(_values(lines[6])[0])
+    nbs = [int(v) for v in _values(lines[7])][:n_nbs]
+    if len(nbs) != n_nbs:
+        raise ValueError(f"expected {n_nbs} block sizes, found {len(nbs)}")
+    # lines[8] PMAP; [9] # of grids; [10] Ps; [11] Qs
+    n_grids = int(_values(lines[9])[0])
+    ps = [int(v) for v in _values(lines[10])][:n_grids]
+    qs = [int(v) for v in _values(lines[11])][:n_grids]
+    if len(ps) != n_grids or len(qs) != n_grids:
+        raise ValueError(f"expected {n_grids} process grids")
+    return HPLDat(ns=ns, nbs=nbs, grids=list(zip(ps, qs)))
+
+
+def format_hpl_dat(dat: HPLDat) -> str:
+    """Write an HPL.dat file equivalent to ``dat`` (netlib layout)."""
+
+    def row(vals: Sequence[object], label: str) -> str:
+        return f"{' '.join(str(v) for v in vals):<20} {label}"
+
+    return "\n".join(
+        [
+            "HPLinpack benchmark input file",
+            "repro — Self-Checkpoint reproduction",
+            row(["HPL.out"], "output file name (if any)"),
+            row([6], "device out (6=stdout,7=stderr,file)"),
+            row([len(dat.ns)], "# of problems sizes (N)"),
+            row(dat.ns, "Ns"),
+            row([len(dat.nbs)], "# of NBs"),
+            row(dat.nbs, "NBs"),
+            row([0], "PMAP process mapping (0=Row-,1=Column-major)"),
+            row([len(dat.grids)], "# of process grids (P x Q)"),
+            row([p for p, _ in dat.grids], "Ps"),
+            row([q for _, q in dat.grids], "Qs"),
+        ]
+    )

@@ -1,0 +1,59 @@
+"""Analytic performance models from the paper's section 4 and evaluation.
+
+* :mod:`repro.models.efficiency` — the HPL efficiency model
+  ``E(N) = N / (aN + b)`` (Eq. 5), its least-squares fit (Fig. 7), and the
+  reduced-memory lower bound (Eq. 8).
+* :mod:`repro.models.machines` — Table 2's node configurations and the
+  local-cluster testbed.
+* :mod:`repro.models.top500` — the November 2016 TOP-10 list driving Fig. 8.
+* :mod:`repro.models.ckpt_cost` — encoding time / checkpoint size model
+  behind Fig. 13 and Table 3's checkpoint-time column.
+"""
+
+from repro.models.efficiency import (
+    EfficiencyModel,
+    efficiency_at_memory_fraction,
+    efficiency_lower_bound,
+    fit_efficiency_model,
+    problem_size_for_memory,
+)
+from repro.models.machines import (
+    SCALED_TESTBED,
+    LOCAL_CLUSTER,
+    MachineSpec,
+    TIANHE_1A,
+    TIANHE_2,
+)
+from repro.models.reliability import (
+    expected_failures,
+    p_fault_free,
+    p_interval_survives_grouped,
+    scale_sweep,
+)
+from repro.models.top500 import TOP10_NOV2016, Top500System
+from repro.models.ckpt_cost import (
+    checkpoint_size_per_process,
+    encode_time,
+    recovery_time,
+)
+
+__all__ = [
+    "EfficiencyModel",
+    "fit_efficiency_model",
+    "efficiency_lower_bound",
+    "efficiency_at_memory_fraction",
+    "problem_size_for_memory",
+    "MachineSpec",
+    "TIANHE_1A",
+    "TIANHE_2",
+    "LOCAL_CLUSTER",
+    "Top500System",
+    "TOP10_NOV2016",
+    "p_fault_free",
+    "expected_failures",
+    "p_interval_survives_grouped",
+    "scale_sweep",
+    "checkpoint_size_per_process",
+    "encode_time",
+    "recovery_time",
+]

@@ -1,0 +1,65 @@
+"""Simulated HPC substrate: nodes, SHM, network model, MPI-like runtime.
+
+The paper runs on real MPI over Tianhe-1A/Tianhe-2.  This package provides a
+deterministic stand-in: every MPI rank is a Python thread with a *virtual
+clock*; communication primitives advance the clocks according to an
+alpha-beta network model with port sharing; nodes own memory and SHM
+segments; node "power-off" destroys a node's SHM and aborts the job, exactly
+matching the failure semantics the paper depends on (section 2.3, 5.2).
+"""
+
+from repro.sim.errors import (
+    JobAbortedError,
+    NodeFailedError,
+    OutOfMemoryError,
+    ShmError,
+    SimError,
+    UnrecoverableError,
+)
+from repro.sim.netmodel import NetworkParams, NetworkModel
+from repro.sim.node import Node, NodeSpec
+from repro.sim.shm import ShmSegment, ShmStore
+from repro.sim.cluster import Cluster
+from repro.sim.failures import (
+    FailurePlan,
+    MTBFFailureGenerator,
+    PhaseTrigger,
+    TimeTrigger,
+)
+from repro.sim.mpi import Communicator, ReduceOp
+from repro.sim.runtime import Job, JobResult, RankContext, RankExit
+from repro.sim.topology import Topology, fail_rack
+from repro.sim.trace import Trace, TraceEvent, phase_spans, render_timeline, span_stats
+
+__all__ = [
+    "SimError",
+    "NodeFailedError",
+    "JobAbortedError",
+    "OutOfMemoryError",
+    "ShmError",
+    "UnrecoverableError",
+    "NetworkParams",
+    "NetworkModel",
+    "Node",
+    "NodeSpec",
+    "ShmSegment",
+    "ShmStore",
+    "Cluster",
+    "FailurePlan",
+    "TimeTrigger",
+    "PhaseTrigger",
+    "MTBFFailureGenerator",
+    "Communicator",
+    "ReduceOp",
+    "Job",
+    "JobResult",
+    "RankContext",
+    "RankExit",
+    "Topology",
+    "fail_rack",
+    "Trace",
+    "TraceEvent",
+    "phase_spans",
+    "span_stats",
+    "render_timeline",
+]

@@ -1,0 +1,35 @@
+"""Thread-local binding of rank threads to their :class:`RankContext`.
+
+Lets :class:`~repro.sim.mpi.Communicator` offer an mpi4py-like interface
+(``comm.rank``, ``comm.send(obj, dest)``) without threading the context
+through every call: the runtime binds the context when it bootstraps the
+rank thread and unbinds it on exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.runtime import RankContext
+
+_tls = threading.local()
+
+
+def bind(ctx: "RankContext") -> None:
+    _tls.ctx = ctx
+
+
+def unbind() -> None:
+    _tls.ctx = None
+
+
+def current_ctx() -> "RankContext":
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise RuntimeError(
+            "no RankContext bound to this thread; simulator communicators "
+            "may only be used from inside a rank main function"
+        )
+    return ctx

@@ -1,0 +1,166 @@
+"""Failure injection: scheduled, phase-triggered, and MTBF-driven.
+
+The paper validates its protocols by powering off nodes at adversarial
+moments — mid-computation (Fig. 2 CASE 1), while calculating a new checksum
+(Fig. 4 CASE 1), and while flushing the new checkpoint (Fig. 4 CASE 2).
+Phase triggers let tests aim a failure at exactly those protocol steps:
+rank code announces named phases via ``ctx.phase(name)`` and a trigger fires
+on the k-th announcement by any rank on the doomed node.
+
+Time triggers fire when a rank on the node advances its virtual clock past
+the deadline.  The MTBF generator draws exponential inter-failure times to
+build whole failure schedules for reliability sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import seeded_rng
+
+
+@dataclass
+class TimeTrigger:
+    """Power off ``node_id`` once any of its ranks reaches ``at_time``.
+
+    ``extra_nodes`` die at the same instant — correlated failures (rack /
+    switch loss, simultaneous double faults for the RAID-6 protocols).
+    """
+
+    node_id: int
+    at_time: float
+    extra_nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+
+    @property
+    def all_nodes(self) -> Tuple[int, ...]:
+        return (self.node_id, *self.extra_nodes)
+
+
+@dataclass
+class PhaseTrigger:
+    """Power off ``node_id`` on the ``occurrence``-th announcement of
+    ``phase`` by any rank running on that node.
+
+    ``rank`` optionally restricts matching to one specific rank's
+    announcements, which makes multi-rank-per-node tests deterministic.
+    ``extra_nodes`` die at the same instant as ``node_id``.
+    """
+
+    node_id: int
+    phase: str
+    occurrence: int = 1
+    rank: Optional[int] = None
+    extra_nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+
+    @property
+    def all_nodes(self) -> Tuple[int, ...]:
+        return (self.node_id, *self.extra_nodes)
+
+
+class FailurePlan:
+    """A set of pending triggers consulted by the runtime.
+
+    Thread-safe; each trigger fires at most once.  The runtime calls
+    :meth:`check_time` on every clock advance and :meth:`check_phase` on
+    every phase announcement, and powers off the returned node ids.
+    """
+
+    def __init__(
+        self,
+        triggers: Optional[List[TimeTrigger | PhaseTrigger]] = None,
+    ):
+        self._lock = threading.Lock()
+        self._time_triggers: List[TimeTrigger] = []
+        self._phase_triggers: List[PhaseTrigger] = []
+        self._phase_counts: Dict[Tuple[int, str], int] = {}
+        self.fired: List[TimeTrigger | PhaseTrigger] = []
+        for t in triggers or []:
+            self.add(t)
+
+    def add(self, trigger: TimeTrigger | PhaseTrigger) -> None:
+        with self._lock:
+            if isinstance(trigger, TimeTrigger):
+                self._time_triggers.append(trigger)
+            elif isinstance(trigger, PhaseTrigger):
+                self._phase_triggers.append(trigger)
+            else:
+                raise TypeError(f"not a trigger: {trigger!r}")
+
+    @property
+    def empty(self) -> bool:
+        with self._lock:
+            return not self._time_triggers and not self._phase_triggers
+
+    def check_time(self, node_id: int, now: float) -> Optional[TimeTrigger]:
+        """The fired trigger if one for ``node_id`` has come due at ``now``."""
+        with self._lock:
+            for t in self._time_triggers:
+                if t.node_id == node_id and now >= t.at_time:
+                    self._time_triggers.remove(t)
+                    self.fired.append(t)
+                    return t
+            return None
+
+    def check_phase(
+        self, node_id: int, rank: int, phase: str
+    ) -> Optional[PhaseTrigger]:
+        """Record a phase announcement; returns the tripped trigger if any."""
+        with self._lock:
+            key = (node_id, phase)
+            self._phase_counts[key] = self._phase_counts.get(key, 0) + 1
+            count = self._phase_counts[key]
+            for t in self._phase_triggers:
+                if (
+                    t.node_id == node_id
+                    and t.phase == phase
+                    and count >= t.occurrence
+                    and (t.rank is None or t.rank == rank)
+                ):
+                    self._phase_triggers.remove(t)
+                    self.fired.append(t)
+                    return t
+            return None
+
+
+class MTBFFailureGenerator:
+    """Draws node failure times from an exponential distribution.
+
+    ``mtbf_node_s`` is the per-node mean time between failures; system MTBF
+    is ``mtbf_node_s / n_nodes``.  Used by the reliability analyses and the
+    long-running failure-storm integration tests.
+    """
+
+    def __init__(self, mtbf_node_s: float, seed: int = 0):
+        if mtbf_node_s <= 0:
+            raise ValueError("mtbf must be > 0")
+        self.mtbf_node_s = mtbf_node_s
+        self._rng = seeded_rng(seed)
+
+    def draw_failure_time(self) -> float:
+        """One exponential failure time for a single node."""
+        return float(self._rng.exponential(self.mtbf_node_s))
+
+    def schedule(self, node_ids: List[int], horizon_s: float) -> List[TimeTrigger]:
+        """First failure (if any) of each node within ``horizon_s``."""
+        triggers = []
+        for nid in node_ids:
+            t = self.draw_failure_time()
+            if t <= horizon_s:
+                triggers.append(TimeTrigger(node_id=nid, at_time=t))
+        return sorted(triggers, key=lambda t: t.at_time)
+
+    def system_mtbf(self, n_nodes: int) -> float:
+        """MTBF of an ``n_nodes`` system (minimum of exponentials)."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return self.mtbf_node_s / n_nodes

@@ -1,0 +1,541 @@
+"""MPI-like communicator over rank threads with virtual-time accounting.
+
+Semantics follow the subset of MPI the paper's systems need:
+
+* blocking standard-mode ``send``/``recv`` with (source, tag) matching,
+* the collectives HPL and the checkpoint protocols use (``bcast``,
+  ``reduce``, ``allreduce``, ``gather``, ``allgather``, ``scatter``,
+  ``alltoall``, ``barrier``),
+* ``split`` to build group/row/column communicators,
+* abort-on-failure: when any node dies, every rank blocked in or entering a
+  communication call raises, mirroring "almost all current MPI
+  implementations force the whole program to abort after a node failure"
+  (paper section 1).
+
+Every operation advances the participants' virtual clocks by the
+alpha-beta cost from :class:`~repro.sim.netmodel.NetworkModel`; collectives
+additionally synchronize clocks to the slowest participant, which is how
+real blocking collectives behave.
+
+Payloads are defensively copied (arrays via ``np.copy``, other objects via
+``copy.deepcopy``) so rank threads never alias each other's buffers —
+matching the value semantics of real message passing.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time as _walltime
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim._tls import current_ctx
+from repro.sim.errors import SimError
+from repro.sim.netmodel import NetworkModel
+
+#: Charged size for payloads whose size we cannot see (python scalars etc.).
+_SMALL_OBJ_BYTES = 64
+
+
+def _payload_nbytes(obj: Any) -> int:
+    """Best-effort wire size of a payload."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(x) for x in obj) or _SMALL_OBJ_BYTES
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(v) for v in obj.values()) or _SMALL_OBJ_BYTES
+    return _SMALL_OBJ_BYTES
+
+
+def _copy_payload(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    if isinstance(obj, (int, float, complex, str, bytes, bool, type(None))):
+        return obj
+    return copy.deepcopy(obj)
+
+
+class ReduceOp:
+    """Element-wise reduction operators over numpy arrays.
+
+    ``BXOR`` matches ``MPI_BXOR`` over integer views and is the paper's
+    default encoding operator; ``SUM`` is the numeric alternative
+    (section 2.2).
+    """
+
+    def __init__(self, name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+        self.name = name
+        self._fn = fn
+
+    def combine(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        if not arrays:
+            raise ValueError("nothing to reduce")
+        acc = np.array(arrays[0], copy=True)
+        for a in arrays[1:]:
+            acc = self._fn(acc, a)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ReduceOp({self.name})"
+
+
+ReduceOp.SUM = ReduceOp("SUM", np.add)  # type: ignore[attr-defined]
+ReduceOp.PROD = ReduceOp("PROD", np.multiply)  # type: ignore[attr-defined]
+ReduceOp.MAX = ReduceOp("MAX", np.maximum)  # type: ignore[attr-defined]
+ReduceOp.MIN = ReduceOp("MIN", np.minimum)  # type: ignore[attr-defined]
+ReduceOp.BXOR = ReduceOp("BXOR", np.bitwise_xor)  # type: ignore[attr-defined]
+
+
+@dataclass
+class _Envelope:
+    payload: Any
+    nbytes: int
+    arrival_time: float
+
+
+class Request:
+    """Handle for a non-blocking operation; complete with :meth:`wait`."""
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        kind: str,
+        key: Optional[Tuple[int, int, int]] = None,
+        cost: float = 0.0,
+    ):
+        self._comm = comm
+        self._kind = kind
+        self._key = key
+        self._cost = cost
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> bool:
+        """Has the operation completed (non-blocking check)?"""
+        if self._done:
+            return True
+        if self._kind == "send":
+            return True  # eager: buffered at isend time
+        with self._comm._mail_cond:
+            return bool(self._comm._mail.get(self._key))
+
+    def wait(self) -> Any:
+        """Complete the operation; returns the payload for receives."""
+        ctx = current_ctx()
+        if self._done:
+            return self._value
+        if self._kind == "send":
+            ctx.check()
+            ctx.clock += self._cost  # the deferred port time
+            self._done = True
+            return None
+        with self._comm._mail_cond:
+            self._comm._wait(
+                self._comm._mail_cond, lambda: self._comm._mail.get(self._key)
+            )
+            env = self._comm._mail[self._key].pop(0)
+            if not self._comm._mail[self._key]:
+                del self._comm._mail[self._key]
+        ctx.clock = max(
+            ctx.clock + self._comm._net.params.latency_s, env.arrival_time
+        )
+        self._done = True
+        self._value = env.payload
+        return self._value
+
+
+class _CollectiveSlot:
+    """Rendezvous state for one communicator's ordered collective stream."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.cond = threading.Condition()
+        self.phase = "gathering"  # -> "draining" -> "gathering" ...
+        self.contrib: Dict[int, Tuple[Any, float]] = {}
+        self.results: Optional[Dict[int, Any]] = None
+        self.finish_clock = 0.0
+        self.taken = 0
+
+
+class Communicator:
+    """A group of ranks that can exchange messages and run collectives.
+
+    Created by :class:`~repro.sim.runtime.Job` (the world communicator) or
+    by :meth:`split`.  All methods infer the calling rank from the thread's
+    bound :class:`RankContext`, so the API reads like mpi4py.
+    """
+
+    def __init__(self, job: "Job", members: List[int], name: str = "world"):  # noqa: F821
+        self._job = job
+        self._members = list(members)
+        self._index: Dict[int, int] = {w: i for i, w in enumerate(members)}
+        self.name = name
+        self._net = NetworkModel(job.cluster.spec.net)
+        self._mail: Dict[Tuple[int, int, int], List[_Envelope]] = {}
+        self._mail_cond = threading.Condition()
+        self._slot = _CollectiveSlot(len(members))
+        self._split_counter = 0
+        job._register_cond(self._mail_cond)
+        job._register_cond(self._slot.cond)
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def net(self) -> NetworkModel:
+        """The cost model pricing this communicator's operations."""
+        return self._net
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    @property
+    def rank(self) -> int:
+        """Rank of the calling thread within this communicator."""
+        return self._index[current_ctx().rank]
+
+    @property
+    def members(self) -> List[int]:
+        """World ranks of the members, in communicator rank order."""
+        return list(self._members)
+
+    def world_rank(self, rank: int) -> int:
+        return self._members[rank]
+
+    # -- waiting with failure delivery -----------------------------------------
+    def _wait(self, cond: threading.Condition, predicate: Callable[[], bool]) -> None:
+        """Block on ``cond`` until ``predicate``; deliver aborts and watch
+        for wall-clock deadlocks.  Caller must hold ``cond``."""
+        ctx = current_ctx()
+        deadline = _walltime.monotonic() + self._job.deadlock_timeout_s
+        while not predicate():
+            ctx.check()
+            cond.wait(timeout=0.05)
+            if _walltime.monotonic() > deadline:
+                raise SimError(
+                    f"rank {ctx.rank} stuck >"
+                    f"{self._job.deadlock_timeout_s}s in {self.name} "
+                    "communicator wait (likely mismatched communication)"
+                )
+
+    def _p2p_scale(self, my_rank: int, peer_rank: int) -> float:
+        """Bandwidth derating for a message between two communicator ranks:
+        1.0 within a rack, the topology's inter-rack factor across racks."""
+        topo = self._job.topology
+        if topo is None:
+            return 1.0
+        ranklist = self._job.ranklist
+        a = ranklist[self._members[my_rank]]
+        b = ranklist[self._members[peer_rank]]
+        if topo.rack_of(a) == topo.rack_of(b):
+            return 1.0
+        return topo.inter_rack_bw_factor
+
+    def _p2p_time_to(self, my_rank: int, peer_rank: int, nbytes: int) -> float:
+        scale = self._p2p_scale(my_rank, peer_rank)
+        base = self._net.p2p_time(nbytes)
+        if scale >= 1.0:
+            return base
+        # only the bandwidth term is derated, not the latency
+        bw_term = nbytes / self._net.params.bandwidth_Bps
+        return base + bw_term * (1.0 / scale - 1.0)
+
+    # -- point to point ----------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking standard-mode send to communicator rank ``dest``."""
+        ctx = current_ctx()
+        ctx.check()
+        if not 0 <= dest < self.size:
+            raise ValueError(f"bad dest {dest} for size {self.size}")
+        nbytes = _payload_nbytes(obj)
+        ctx.clock += self._p2p_time_to(self.rank, dest, nbytes)
+        env = _Envelope(
+            payload=_copy_payload(obj), nbytes=nbytes, arrival_time=ctx.clock
+        )
+        key = (dest, self.rank, tag)
+        with self._mail_cond:
+            self._mail.setdefault(key, []).append(env)
+            self._mail_cond.notify_all()
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from communicator rank ``source``."""
+        ctx = current_ctx()
+        ctx.check()
+        key = (self.rank, source, tag)
+        with self._mail_cond:
+            self._wait(self._mail_cond, lambda: self._mail.get(key))
+            env = self._mail[key].pop(0)
+            if not self._mail[key]:
+                del self._mail[key]
+        ctx.clock = max(ctx.clock + self._net.params.latency_s, env.arrival_time)
+        return env.payload
+
+    def sendrecv(
+        self, obj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0
+    ) -> Any:
+        """Simultaneous send+receive (deadlock-free pairwise exchange)."""
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source, tag=recvtag)
+
+    # -- non-blocking point to point ----------------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Non-blocking send.
+
+        The payload is captured immediately (eager copy), so the buffer may
+        be reused right away; the clock charge lands when the request is
+        waited on, modeling the overlap window.
+        """
+        ctx = current_ctx()
+        ctx.check()
+        if not 0 <= dest < self.size:
+            raise ValueError(f"bad dest {dest} for size {self.size}")
+        nbytes = _payload_nbytes(obj)
+        env = _Envelope(
+            payload=_copy_payload(obj),
+            nbytes=nbytes,
+            arrival_time=ctx.clock + self._net.p2p_time(nbytes),
+        )
+        key = (dest, self.rank, tag)
+        with self._mail_cond:
+            self._mail.setdefault(key, []).append(env)
+            self._mail_cond.notify_all()
+        return Request(self, kind="send", cost=self._net.p2p_time(nbytes))
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Non-blocking receive; complete it with :meth:`Request.wait`."""
+        ctx = current_ctx()
+        ctx.check()
+        return Request(self, kind="recv", key=(self.rank, source, tag))
+
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """True when a matching message is already waiting."""
+        current_ctx().check()
+        with self._mail_cond:
+            return bool(self._mail.get((self.rank, source, tag)))
+
+    # -- generic custom collective -------------------------------------------------
+    def custom_collective(
+        self,
+        contribution: Any,
+        compute: Callable[[Dict[int, Any]], Dict[int, Any]],
+        cost: Callable[[Dict[int, Any]], float],
+    ) -> Any:
+        """Run an arbitrary synchronized collective.
+
+        All members contribute; the last arriver evaluates ``compute`` on
+        ``{rank: contribution}`` to produce per-rank results and ``cost`` to
+        price the operation.  Every participant leaves with its clock set to
+        ``max(entry clocks) + cost``.  This is the extension point the
+        checkpoint encoder uses for its fused stripe reduce.
+        """
+        ctx = current_ctx()
+        ctx.check()
+        slot = self._slot
+        me = self.rank
+        with slot.cond:
+            self._wait(slot.cond, lambda: slot.phase == "gathering" and me not in slot.contrib)
+            slot.contrib[me] = (contribution, ctx.clock)
+            if len(slot.contrib) == slot.size:
+                data = {r: c for r, (c, _) in slot.contrib.items()}
+                t_start = max(t for _, t in slot.contrib.values())
+                slot.results = compute(data)
+                slot.finish_clock = t_start + cost(data)
+                slot.phase = "draining"
+                slot.cond.notify_all()
+            else:
+                self._wait(slot.cond, lambda: slot.phase == "draining")
+            result = slot.results[me]  # type: ignore[index]
+            ctx.clock = max(ctx.clock, slot.finish_clock)
+            slot.taken += 1
+            if slot.taken == slot.size:
+                slot.contrib = {}
+                slot.results = None
+                slot.taken = 0
+                slot.phase = "gathering"
+                slot.cond.notify_all()
+        return result
+
+    # -- standard collectives ---------------------------------------------------------
+    def barrier(self) -> None:
+        self.custom_collective(
+            None,
+            compute=lambda data: {r: None for r in data},
+            cost=lambda data: self._net.barrier_time(self.size),
+        )
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns its copy."""
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            value = data[root]
+            return {r: (value if r == root else _copy_payload(value)) for r in data}
+
+        return self.custom_collective(
+            obj if self.rank == root else None,
+            compute=compute,
+            cost=lambda data: self._net.bcast_time(_payload_nbytes(data[root]), self.size),
+        )
+
+    def reduce(
+        self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM, root: int = 0
+    ) -> Optional[np.ndarray]:
+        """Element-wise reduce of numpy arrays; result only on ``root``."""
+        array = np.asarray(array)
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            combined = op.combine([data[r] for r in sorted(data)])
+            return {r: (combined if r == root else None) for r in data}
+
+        return self.custom_collective(
+            array,
+            compute=compute,
+            cost=lambda data: self._net.reduce_time(int(array.nbytes), self.size),
+        )
+
+    def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        array = np.asarray(array)
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            combined = op.combine([data[r] for r in sorted(data)])
+            return {r: np.array(combined, copy=True) for r in data}
+
+        return self.custom_collective(
+            array,
+            compute=compute,
+            cost=lambda data: self._net.allreduce_time(int(array.nbytes), self.size),
+        )
+
+    def reduce_obj(
+        self, value: Any, func: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any:
+        """Generic-object reduce (e.g. max-loc pivot search): ``func`` folds
+        contributions in rank order; result only meaningful on ``root``."""
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            acc = data[0] if 0 in data else data[sorted(data)[0]]
+            for r in sorted(data)[1:]:
+                acc = func(acc, data[r])
+            return {r: (acc if r == root else None) for r in data}
+
+        return self.custom_collective(
+            value,
+            compute=compute,
+            cost=lambda data: self._net.reduce_time(_SMALL_OBJ_BYTES, self.size),
+        )
+
+    def allreduce_obj(self, value: Any, func: Callable[[Any, Any], Any]) -> Any:
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            ranks = sorted(data)
+            acc = data[ranks[0]]
+            for r in ranks[1:]:
+                acc = func(acc, data[r])
+            return {r: _copy_payload(acc) for r in data}
+
+        return self.custom_collective(
+            value,
+            compute=compute,
+            cost=lambda data: self._net.allreduce_time(_SMALL_OBJ_BYTES, self.size),
+        )
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank into a rank-ordered list on ``root``."""
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            ordered = [data[r] for r in range(self.size)]
+            return {r: (ordered if r == root else None) for r in data}
+
+        return self.custom_collective(
+            obj,
+            compute=compute,
+            cost=lambda data: self._net.gather_time(
+                max(_payload_nbytes(v) for v in data.values()), self.size
+            ),
+        )
+
+    def allgather(self, obj: Any) -> List[Any]:
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            ordered = [data[r] for r in range(self.size)]
+            return {r: [_copy_payload(v) for v in ordered] for r in data}
+
+        return self.custom_collective(
+            obj,
+            compute=compute,
+            cost=lambda data: self._net.allgather_time(
+                max(_payload_nbytes(v) for v in data.values()), self.size
+            ),
+        )
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``."""
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            seq = data[root]
+            if seq is None or len(seq) != self.size:
+                raise SimError(
+                    f"scatter root must supply exactly {self.size} items"
+                )
+            return {r: _copy_payload(seq[r]) for r in data}
+
+        return self.custom_collective(
+            objs if self.rank == root else None,
+            compute=compute,
+            cost=lambda data: self._net.scatter_time(
+                _payload_nbytes(data[root]) // max(1, self.size), self.size
+            ),
+        )
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Each rank supplies ``size`` items; receives item ``[me]`` of each."""
+        if len(objs) != self.size:
+            raise SimError(f"alltoall needs exactly {self.size} items per rank")
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            return {
+                r: [_copy_payload(data[src][r]) for src in range(self.size)]
+                for r in data
+            }
+
+        return self.custom_collective(
+            list(objs),
+            compute=compute,
+            cost=lambda data: self._net.alltoall_time(
+                max(_payload_nbytes(v) for v in data.values()) // max(1, self.size),
+                self.size,
+            ),
+        )
+
+    # -- communicator construction ---------------------------------------------------
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """MPI_Comm_split: ranks sharing ``color`` form a new communicator,
+        ordered by ``(key, old rank)``."""
+        me = self.rank
+        sort_key = me if key is None else key
+        self._split_counter += 1
+        split_id = self._split_counter
+
+        def compute(data: Dict[int, Any]) -> Dict[int, Any]:
+            groups: Dict[int, List[Tuple[int, int]]] = {}
+            for r, (c, k) in data.items():
+                groups.setdefault(c, []).append((k, r))
+            comms: Dict[int, Communicator] = {}
+            for c, pairs in groups.items():
+                pairs.sort()
+                members = [self._members[r] for _, r in pairs]
+                comms[c] = Communicator(
+                    self._job, members, name=f"{self.name}/split{split_id}.{c}"
+                )
+            return {r: comms[c] for r, (c, _) in data.items()}
+
+        return self.custom_collective(
+            (color, sort_key),
+            compute=compute,
+            cost=lambda data: self._net.barrier_time(self.size),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Communicator({self.name}, size={self.size})"

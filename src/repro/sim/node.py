@@ -1,0 +1,138 @@
+"""Simulated compute node: cores, flops rating, memory accounting, SHM.
+
+A :class:`Node` is pure state — threads belonging to ranks mapped onto the
+node consult it for compute speed, charge allocations against its memory,
+and keep SHM segments in its :class:`~repro.sim.shm.ShmStore`.  Powering a
+node off (``fail``) marks it dead and destroys its SHM, which is precisely
+the event the checkpoint protocols must survive.
+
+``NodeSpec`` captures the paper's Table 2 rows; the two Tianhe machines are
+predefined in :mod:`repro.models.machines`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.sim.errors import OutOfMemoryError
+from repro.sim.netmodel import NetworkParams
+from repro.sim.shm import ShmStore
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static hardware description of a node (one Table 2 column).
+
+    Attributes
+    ----------
+    cores:
+        Processor cores per node.
+    flops:
+        Peak node performance, floating point ops / second.
+    mem_bytes:
+        Physical memory capacity.
+    net:
+        Network parameters seen by processes on this node.
+    """
+
+    cores: int = 24
+    flops: float = 422.4e9
+    mem_bytes: int = 64 * 1024**3
+    net: NetworkParams = field(default_factory=NetworkParams)
+    #: Local memory copy bandwidth per process, bytes/s.  Prices the
+    #: checkpoint flush ("local overwriting time is normally less than one
+    #: second", paper section 6.6).
+    mem_bw_Bps: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.flops <= 0:
+            raise ValueError("flops must be > 0")
+        if self.mem_bytes <= 0:
+            raise ValueError("mem_bytes must be > 0")
+
+    @property
+    def flops_per_core(self) -> float:
+        return self.flops / self.cores
+
+    @property
+    def mem_per_core(self) -> int:
+        return self.mem_bytes // self.cores
+
+
+class Node:
+    """One node of the simulated cluster."""
+
+    def __init__(self, node_id: int, spec: NodeSpec, *, enforce_memory: bool = False):
+        self.node_id = node_id
+        self.spec = spec
+        #: When True, allocations beyond ``spec.mem_bytes`` raise
+        #: :class:`OutOfMemoryError`.  Off by default because most tests run
+        #: shrunken problem sizes against full-size node specs.
+        self.enforce_memory = enforce_memory
+        self._alive = True
+        self._failed_at: float | None = None
+        self._mem_used = 0
+        self._mem_lock = threading.Lock()
+        self.shm = ShmStore(charge=self._charge, release=self._release)
+
+    # -- liveness ------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def failed_at(self) -> float | None:
+        """Virtual time of the power-off, if any."""
+        return self._failed_at
+
+    def fail(self, when: float = 0.0) -> None:
+        """Power the node off: volatile *and* SHM contents are lost."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._failed_at = when
+        self.shm.clear()
+
+    def repair(self) -> None:
+        """Bring the node back empty (a repaired/fresh node re-entering the
+        pool; its memory content did not survive)."""
+        self._alive = True
+        self._failed_at = None
+
+    # -- memory accounting ----------------------------------------------------
+    def _charge(self, nbytes: int) -> None:
+        with self._mem_lock:
+            if self.enforce_memory and self._mem_used + nbytes > self.spec.mem_bytes:
+                raise OutOfMemoryError(
+                    f"node {self.node_id}: allocation of {nbytes}B exceeds "
+                    f"capacity ({self._mem_used}/{self.spec.mem_bytes}B used)"
+                )
+            self._mem_used += nbytes
+
+    def _release(self, nbytes: int) -> None:
+        with self._mem_lock:
+            self._mem_used = max(0, self._mem_used - nbytes)
+
+    def malloc(self, nbytes: int) -> None:
+        """Charge a plain (non-SHM) allocation against this node."""
+        self._charge(nbytes)
+
+    def free(self, nbytes: int) -> None:
+        self._release(nbytes)
+
+    @property
+    def mem_used(self) -> int:
+        with self._mem_lock:
+            return self._mem_used
+
+    @property
+    def mem_free(self) -> int:
+        with self._mem_lock:
+            return self.spec.mem_bytes - self._mem_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._alive else "DOWN"
+        return f"Node({self.node_id}, {state}, mem_used={self._mem_used})"

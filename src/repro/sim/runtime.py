@@ -1,0 +1,319 @@
+"""Job runtime: thread-per-rank execution with virtual clocks and aborts.
+
+A :class:`Job` launches one Python thread per MPI rank, binds each to a
+:class:`RankContext` (virtual clock, node handle, failure checks), and runs
+the user-provided ``main(ctx)`` to completion or abort.
+
+Failure semantics reproduce the environment the paper assumes:
+
+* a failure plan powers a node off at a virtual time or protocol phase;
+* the first rank to observe its node dead raises
+  :class:`~repro.sim.errors.NodeFailedError`, which flips the job into the
+  aborting state;
+* every other rank raises :class:`~repro.sim.errors.JobAbortedError` at its
+  next runtime interaction — the whole job dies, like ``mpirun`` does;
+* SHM on healthy nodes survives (see :mod:`repro.sim.shm`), which is what
+  the restarted job recovers from.
+
+``Job.run`` returns a :class:`JobResult` carrying per-rank return values,
+errors, final virtual clocks and the set of failed nodes — everything the
+job daemon needs to decide on a restart.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim import _tls
+from repro.sim.cluster import Cluster
+from repro.sim.errors import JobAbortedError, NodeFailedError, SimError
+from repro.sim.failures import FailurePlan
+from repro.sim.mpi import Communicator
+from repro.sim.node import Node
+from repro.sim.shm import ShmSegment
+from repro.sim.topology import Topology
+from repro.sim.trace import Trace
+
+
+class RankExit(Exception):
+    """Raised by rank code to terminate its main early with a value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__("rank exited early")
+        self.value = value
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job incarnation."""
+
+    completed: bool
+    aborted: bool
+    failed_nodes: List[int]
+    rank_results: Dict[int, Any]
+    rank_errors: Dict[int, BaseException]
+    rank_clocks: Dict[int, float]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual end-to-end time (slowest rank)."""
+        return max(self.rank_clocks.values()) if self.rank_clocks else 0.0
+
+    def result_of(self, rank: int) -> Any:
+        return self.rank_results.get(rank)
+
+
+class RankContext:
+    """Per-rank execution context handed to the user main function."""
+
+    def __init__(self, job: "Job", rank: int, node: Node):
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.clock: float = 0.0
+        self.world: Communicator = job.world
+        self._phase_log: List[str] = []
+
+    # -- liveness / failure delivery ------------------------------------------
+    def check(self) -> None:
+        """Raise if this rank's node died or the job is aborting."""
+        if not self.node.alive:
+            raise NodeFailedError(self.node.node_id, self.clock)
+        if self.job.aborting:
+            raise JobAbortedError(f"rank {self.rank}: job aborting")
+
+    # -- virtual time -----------------------------------------------------------
+    def elapse(self, seconds: float) -> None:
+        """Advance this rank's virtual clock by ``seconds`` of local work."""
+        if seconds < 0:
+            raise ValueError("cannot elapse negative time")
+        self.check()
+        self.clock += seconds
+        trigger = self.job.failure_plan.check_time(self.node.node_id, self.clock)
+        if trigger is not None:
+            for nid in trigger.all_nodes:
+                self.job.fail_node(nid, when=self.clock)
+        self.check()
+
+    def compute(self, flops: float, efficiency: float = 1.0) -> None:
+        """Charge ``flops`` of floating-point work at this rank's core speed."""
+        if flops < 0:
+            raise ValueError("flops must be >= 0")
+        if not 0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        rate = self.node.spec.flops_per_core * efficiency
+        self.elapse(flops / rate)
+
+    def phase(self, name: str) -> None:
+        """Announce a protocol phase (failure-injection hook)."""
+        self.check()
+        self._phase_log.append(name)
+        if self.job.trace is not None:
+            self.job.trace.record(self.rank, self.clock, name)
+        trigger = self.job.failure_plan.check_phase(
+            self.node.node_id, self.rank, name
+        )
+        if trigger is not None:
+            for nid in trigger.all_nodes:
+                self.job.fail_node(nid, when=self.clock)
+        self.check()
+
+    @property
+    def phase_log(self) -> List[str]:
+        return list(self._phase_log)
+
+    # -- memory ----------------------------------------------------------------------
+    def malloc(self, nbytes: int) -> None:
+        """Charge a private (non-SHM) allocation against this rank's node."""
+        self.node.malloc(nbytes)
+
+    def free(self, nbytes: int) -> None:
+        self.node.free(nbytes)
+
+    def shm_create(
+        self,
+        name: str,
+        shape,
+        dtype=np.float64,
+        *,
+        exist_ok: bool = False,
+    ) -> ShmSegment:
+        """Create (or re-attach, with ``exist_ok``) an SHM segment on this
+        rank's node.  Names are global per node; embed the rank if needed."""
+        self.check()
+        return self.node.shm.create(name, shape, dtype, exist_ok=exist_ok)
+
+    def shm_attach(self, name: str) -> ShmSegment:
+        self.check()
+        return self.node.shm.attach(name)
+
+    def shm_exists(self, name: str) -> bool:
+        return self.node.shm.exists(name)
+
+    def shm_unlink(self, name: str, *, missing_ok: bool = False) -> None:
+        self.node.shm.unlink(name, missing_ok=missing_ok)
+
+
+class Job:
+    """One incarnation of an SPMD program on the simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to run on; persists across incarnations.
+    main:
+        ``main(ctx, *args) -> Any``, executed once per rank.
+    n_ranks:
+        World size.
+    ranklist:
+        Node id per rank.  Defaults to the cluster's block placement.
+    failure_plan:
+        Triggers consulted on clock advances and phase announcements.
+    deadlock_timeout_s:
+        Wall-clock bound on any single blocking wait (test safety net).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        main: Callable[..., Any],
+        n_ranks: int,
+        *,
+        args: Sequence[Any] = (),
+        ranklist: Optional[Sequence[int]] = None,
+        failure_plan: Optional[FailurePlan] = None,
+        procs_per_node: Optional[int] = None,
+        deadlock_timeout_s: float = 60.0,
+        trace: Optional["Trace"] = None,
+        topology: Optional["Topology"] = None,
+        name: str = "job",
+    ):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.cluster = cluster
+        self.main = main
+        self.args = tuple(args)
+        self.name = name
+        self.deadlock_timeout_s = deadlock_timeout_s
+        self.failure_plan = failure_plan or FailurePlan()
+        #: optional event trace shared across this job's ranks
+        self.trace = trace
+        #: optional rack topology: point-to-point messages crossing racks
+        #: pay the inter-rack bandwidth penalty
+        self.topology = topology
+        if ranklist is None:
+            ranklist = cluster.default_ranklist(n_ranks, procs_per_node=procs_per_node)
+        if len(ranklist) != n_ranks:
+            raise ValueError(f"ranklist length {len(ranklist)} != n_ranks {n_ranks}")
+        for nid in ranklist:
+            if not cluster.node(nid).alive:
+                raise SimError(f"ranklist places a rank on dead node {nid}")
+        self.ranklist: List[int] = list(ranklist)
+        self.n_ranks = n_ranks
+
+        self._abort_lock = threading.Lock()
+        self._aborting = False
+        self._failed_nodes: List[int] = []
+        self._conds: List[threading.Condition] = []
+
+        # the world communicator; must exist before contexts are built
+        self.world = Communicator(self, list(range(n_ranks)), name=f"{name}.world")
+
+        self._results: Dict[int, Any] = {}
+        self._errors: Dict[int, BaseException] = {}
+        self._clocks: Dict[int, float] = {}
+
+    # -- abort machinery -------------------------------------------------------------
+    @property
+    def aborting(self) -> bool:
+        return self._aborting
+
+    @property
+    def failed_nodes(self) -> List[int]:
+        return list(self._failed_nodes)
+
+    def _register_cond(self, cond: threading.Condition) -> None:
+        self._conds.append(cond)
+
+    def _wake_all(self) -> None:
+        for cond in list(self._conds):
+            with cond:
+                cond.notify_all()
+
+    def fail_node(self, node_id: int, when: float = 0.0) -> None:
+        """Power off a node mid-run and abort the job."""
+        with self._abort_lock:
+            node = self.cluster.node(node_id)
+            if node.alive:
+                node.fail(when)
+            if node_id not in self._failed_nodes:
+                self._failed_nodes.append(node_id)
+            self._aborting = True
+        self._wake_all()
+
+    def abort(self) -> None:
+        """Abort without a node failure (MPI_Abort semantics)."""
+        with self._abort_lock:
+            self._aborting = True
+        self._wake_all()
+
+    # -- execution ----------------------------------------------------------------------
+    def _bootstrap(self, rank: int) -> None:
+        node = self.cluster.node(self.ranklist[rank])
+        ctx = RankContext(self, rank, node)
+        _tls.bind(ctx)
+        try:
+            result = self.main(ctx, *self.args)
+            self._results[rank] = result
+        except RankExit as e:
+            self._results[rank] = e.value
+        except (NodeFailedError, JobAbortedError) as e:
+            self._errors[rank] = e
+            with self._abort_lock:
+                self._aborting = True
+            self._wake_all()
+        except BaseException as e:  # user bug: abort the world, re-raise later
+            self._errors[rank] = e
+            self.abort()
+        finally:
+            self._clocks[rank] = ctx.clock
+            _tls.unbind()
+
+    def run(self) -> JobResult:
+        """Execute all ranks; block until every rank thread finishes."""
+        threads = [
+            threading.Thread(
+                target=self._bootstrap,
+                args=(rank,),
+                name=f"{self.name}-r{rank}",
+                daemon=True,
+            )
+            for rank in range(self.n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        unexpected = {
+            r: e
+            for r, e in self._errors.items()
+            if not isinstance(e, (NodeFailedError, JobAbortedError, SimError))
+        }
+        if unexpected:
+            rank, err = sorted(unexpected.items())[0]
+            raise SimError(f"rank {rank} crashed: {err!r}") from err
+
+        aborted = self._aborting
+        return JobResult(
+            completed=not aborted and not self._errors,
+            aborted=aborted,
+            failed_nodes=list(self._failed_nodes),
+            rank_results=dict(self._results),
+            rank_errors=dict(self._errors),
+            rank_clocks=dict(self._clocks),
+        )

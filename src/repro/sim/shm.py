@@ -1,0 +1,130 @@
+"""Per-node shared-memory segment store.
+
+Mirrors Linux SHM semantics as the paper uses them (section 2.3): a segment
+created by a rank persists after the rank (and the whole job) exits, and is
+only lost when the node itself is powered off or the segment is explicitly
+unlinked.  Checkpoint buffers and the self-checkpoint workspace live here.
+
+Each segment carries a small metadata dict alongside its numpy buffer; the
+checkpoint protocols use it for epoch/phase flags that must survive restart.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.sim.errors import ShmError
+
+
+@dataclass
+class ShmSegment:
+    """A named, node-resident array that outlives its creating process."""
+
+    name: str
+    array: np.ndarray
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+
+class ShmStore:
+    """All SHM segments of one node.
+
+    Thread-safe: multiple ranks co-resident on a node may create/attach
+    concurrently.  Memory charged against the node is delegated through the
+    ``charge``/``release`` callables supplied by the owning :class:`Node`.
+    """
+
+    def __init__(
+        self,
+        charge: Callable[[int], None],
+        release: Callable[[int], None],
+    ):
+        self._segments: Dict[str, ShmSegment] = {}
+        self._lock = threading.Lock()
+        self._charge = charge
+        self._release = release
+
+    def create(
+        self,
+        name: str,
+        shape: Tuple[int, ...] | int,
+        dtype: np.dtype | str = np.float64,
+        *,
+        exist_ok: bool = False,
+    ) -> ShmSegment:
+        """Allocate a zero-filled segment.
+
+        With ``exist_ok`` an existing segment of the same name, shape and
+        dtype is returned instead (the attach-or-create idiom a restarted
+        rank uses).
+        """
+        with self._lock:
+            existing = self._segments.get(name)
+            if existing is not None:
+                if not exist_ok:
+                    raise ShmError(f"SHM segment {name!r} already exists")
+                want_shape = (shape,) if isinstance(shape, int) else tuple(shape)
+                if existing.array.shape != want_shape or existing.array.dtype != np.dtype(dtype):
+                    raise ShmError(
+                        f"SHM segment {name!r} exists with shape "
+                        f"{existing.array.shape}/{existing.array.dtype}, "
+                        f"requested {want_shape}/{np.dtype(dtype)}"
+                    )
+                return existing
+            arr = np.zeros(shape, dtype=dtype)
+            self._charge(arr.nbytes)
+            seg = ShmSegment(name=name, array=arr)
+            self._segments[name] = seg
+            return seg
+
+    def attach(self, name: str) -> ShmSegment:
+        """Return an existing segment; raises :class:`ShmError` if absent."""
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None:
+                raise ShmError(f"no SHM segment named {name!r}")
+            return seg
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._segments
+
+    def unlink(self, name: str, *, missing_ok: bool = False) -> None:
+        """Free a segment and release its memory accounting."""
+        with self._lock:
+            seg = self._segments.pop(name, None)
+            if seg is None:
+                if missing_ok:
+                    return
+                raise ShmError(f"no SHM segment named {name!r}")
+            self._release(seg.nbytes)
+
+    def clear(self) -> None:
+        """Destroy everything (node power-off)."""
+        with self._lock:
+            total = sum(seg.nbytes for seg in self._segments.values())
+            self._segments.clear()
+            self._release(total)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(seg.nbytes for seg in self._segments.values())
+
+    def __iter__(self) -> Iterator[ShmSegment]:
+        with self._lock:
+            return iter(list(self._segments.values()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)

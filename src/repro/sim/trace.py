@@ -1,0 +1,102 @@
+"""Virtual-time event tracing for simulator runs.
+
+A :class:`Trace` attached to a job records every phase announcement with
+its rank and virtual clock.  That is enough to *measure* (rather than
+model) protocol phase durations in live runs — e.g. how long a checkpoint
+or a recovery actually took in virtual time — and to render a compact
+per-rank timeline for debugging.
+
+Phases bracket naturally: the protocols announce ``ckpt.begin`` ...
+``ckpt.done`` and ``restore.begin`` ... ``restore.done``;
+:func:`phase_spans` pairs them up per rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    rank: int
+    clock: float
+    label: str
+
+
+class Trace:
+    """Thread-safe event log shared by all ranks of a job."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, rank: int, clock: float, label: str) -> None:
+        with self._lock:
+            self._events.append(TraceEvent(rank=rank, clock=clock, label=label))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def by_rank(self, rank: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def labels(self) -> List[str]:
+        return sorted({e.label for e in self.events})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def phase_spans(
+    trace: Trace, begin: str, end: str, rank: Optional[int] = None
+) -> List[Tuple[int, float, float]]:
+    """Pair ``begin``/``end`` announcements into (rank, start, duration)
+    spans, per rank, in order of occurrence."""
+    spans: List[Tuple[int, float, float]] = []
+    open_at: Dict[int, float] = {}
+    for e in trace.events if rank is None else trace.by_rank(rank):
+        if e.label == begin:
+            open_at[e.rank] = e.clock
+        elif e.label == end and e.rank in open_at:
+            start = open_at.pop(e.rank)
+            spans.append((e.rank, start, e.clock - start))
+    return sorted(spans, key=lambda s: (s[1], s[0]))
+
+
+def span_stats(spans: List[Tuple[int, float, float]]) -> Dict[str, float]:
+    """min/mean/max duration over spans (empty-safe)."""
+    if not spans:
+        return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+    durations = [d for _, _, d in spans]
+    return {
+        "count": len(durations),
+        "min": min(durations),
+        "mean": sum(durations) / len(durations),
+        "max": max(durations),
+    }
+
+
+def render_timeline(trace: Trace, width: int = 72) -> str:
+    """A compact ASCII timeline: one row per rank, one column per event,
+    showing phase initials positioned by virtual time."""
+    events = trace.events
+    if not events:
+        return "(empty trace)"
+    t_max = max(e.clock for e in events) or 1.0
+    ranks = sorted({e.rank for e in events})
+    lines = []
+    for r in ranks:
+        row = [" "] * width
+        for e in trace.by_rank(r):
+            col = min(width - 1, int(e.clock / t_max * (width - 1)))
+            row[col] = e.label[0] if e.label else "?"
+        lines.append(f"r{r:<3}|{''.join(row)}|")
+    legend = ", ".join(f"{lbl[0]}={lbl}" for lbl in trace.labels()[:8])
+    lines.append(f"     0 {'-' * (width - 10)} {t_max:.3g}s")
+    lines.append(f"     {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Deterministic random number generation helpers.
+
+HPL regenerates its input matrix from a fixed seed on restart ("With the
+same configure file, matrix A and b are always the same since the HPL test
+uses a fixed random seed", paper section 5.2).  To let *any* rank regenerate
+*any* block — needed both at initial generation and when a replacement rank
+re-derives data it never owned — we derive one independent stream per global
+block coordinate from a root seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A fresh PCG64 generator for ``seed``."""
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def block_rng(seed: int, *coords: int) -> np.random.Generator:
+    """A generator whose stream depends only on ``(seed, *coords)``.
+
+    Two calls with identical arguments yield identical streams regardless of
+    which process makes the call or in which order blocks are generated.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=tuple(coords)))

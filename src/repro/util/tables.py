@@ -1,0 +1,52 @@
+"""Minimal fixed-width table renderer for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Cells are str()-ified; numeric-looking cells are right-aligned.
+    """
+    srows = [[str(c) for c in row] for row in rows]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def _is_numeric(s: str) -> bool:
+        t = s.rstrip("%x").replace(",", "")
+        try:
+            float(t)
+            return True
+        except ValueError:
+            return False
+
+    def _fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                out.append(cell.rjust(widths[i]))
+            else:
+                out.append(cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_fmt_row(headers))
+    lines.append(sep)
+    lines.extend(_fmt_row(row) for row in srows)
+    return "\n".join(lines)

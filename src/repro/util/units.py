@@ -1,0 +1,72 @@
+"""Byte/time unit constants, formatting, and parsing.
+
+All sizes in this codebase are plain ``int`` byte counts and all durations
+are ``float`` seconds; these helpers exist only at the presentation and
+configuration boundaries.
+"""
+
+from __future__ import annotations
+
+import re
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+_SUFFIXES = [
+    ("TiB", 1024**4),
+    ("GiB", GiB),
+    ("MiB", MiB),
+    ("KiB", KiB),
+    ("TB", 10**12),
+    ("GB", 10**9),
+    ("MB", 10**6),
+    ("KB", 10**3),
+    ("B", 1),
+]
+
+_PARSE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count using the largest binary unit that keeps the
+    mantissa >= 1, e.g. ``fmt_bytes(3 * GiB) == '3.00GiB'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, factor in (("TiB", 1024**4), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if n >= factor:
+            return f"{sign}{n / factor:.2f}{suffix}"
+    return f"{sign}{n:.0f}B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human size string (``'4GiB'``, ``'512 MB'``, ``'100'``) to bytes.
+
+    Bare numbers are taken as bytes. Raises :class:`ValueError` on garbage.
+    """
+    m = _PARSE_RE.match(text)
+    if m is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = float(m.group(1)), m.group(2)
+    if not unit:
+        return int(value)
+    for suffix, factor in _SUFFIXES:
+        if unit.lower() == suffix.lower():
+            return int(value * factor)
+    raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration compactly: microseconds below 1 ms, up to hours."""
+    if t < 0:
+        return "-" + fmt_seconds(-t)
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f}ms"
+    if t < 120.0:
+        return f"{t:.2f}s"
+    if t < 7200.0:
+        return f"{t / 60.0:.1f}min"
+    return f"{t / 3600.0:.2f}h"

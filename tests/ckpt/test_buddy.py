@@ -1,0 +1,82 @@
+"""Tests for the buddy (pairwise replication) baseline of refs [37, 38]."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointManager
+from repro.sim import Cluster, Job, UnrecoverableError
+from tests.ckpt.conftest import assert_final_state, make_app
+
+N = 8
+
+
+class TestBuddy:
+    def test_requires_pairs(self):
+        def app(ctx):
+            with pytest.raises(ValueError, match="group size must be 2"):
+                CheckpointManager(ctx, ctx.world, group_size=4, method="buddy")
+            return True
+
+        cluster = Cluster(N)
+        assert Job(cluster, app, N, procs_per_node=1).run().completed
+
+    @pytest.mark.parametrize(
+        "phase,occurrence",
+        [
+            ("ckpt.update", 1),
+            ("ckpt.update.mid", 2),
+            ("ckpt.flush", 1),
+            ("ckpt.done", 2),
+        ],
+    )
+    def test_recovers_at_every_phase(self, cycle, phase, occurrence):
+        app = make_app("buddy", group_size=2)
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=occurrence)
+        assert_final_state(second, N)
+
+    def test_buddy_pair_loss_unrecoverable(self):
+        app = make_app("buddy", group_size=2)
+        cluster = Cluster(N, n_spares=4)
+        job = Job(cluster, app, N, procs_per_node=1)
+        assert job.run().completed
+        # stride pairs over 8 ranks: groups [0,4],[1,5],[2,6],[3,7]
+        cluster.fail_node(0)
+        cluster.fail_node(4)
+        repl = cluster.replace_dead()
+        ranklist = [repl.get(n, n) for n in job.ranklist]
+        res = Job(cluster, app, N, ranklist=ranklist).run()
+        assert not res.completed
+        assert any(
+            isinstance(e, UnrecoverableError) for e in res.rank_errors.values()
+        )
+
+    def test_losses_in_different_pairs_recoverable(self):
+        app = make_app("buddy", group_size=2)
+        cluster = Cluster(N, n_spares=4)
+        job = Job(cluster, app, N, procs_per_node=1)
+        assert job.run().completed
+        cluster.fail_node(0)  # pair (0, 4)
+        cluster.fail_node(1)  # pair (1, 5)
+        repl = cluster.replace_dead()
+        ranklist = [repl.get(n, n) for n in job.ranklist]
+        res = Job(cluster, app, N, ranklist=ranklist).run()
+        assert_final_state(res, N)
+
+    def test_memory_is_two_full_copies(self):
+        """The paper's complaint about [38]: ~1/3 of memory left."""
+        app = make_app("buddy", group_size=2, array_len=4096)
+        cluster = Cluster(N)
+        res = Job(cluster, app, N, procs_per_node=1).run()
+        overhead = res.rank_results[0]["overhead"]
+        workspace = 4096 * 8
+        # 2 slots x (local + mirror) = 4 padded buffers
+        assert overhead > 4 * workspace
+        # available fraction = M / (M + overhead) ~ 1/5 with two slots
+        assert workspace / (workspace + overhead) < 0.25
+
+    def test_restored_data_identical_to_fault_free(self, cycle):
+        app = make_app("buddy", group_size=2)
+        _, second = cycle(app, n_ranks=N, phase="ckpt.update.mid", occurrence=2)
+        assert_final_state(second, N)
+        report = second.rank_results[2]["restore"]
+        assert report.epoch == 1  # mid-update of epoch 2 -> slot 1 survives

@@ -1,0 +1,137 @@
+"""Tests for the incremental (dirty-page) checkpoint baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointManager, IncrementalCheckpoint
+from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger, UnrecoverableError
+from tests.ckpt.conftest import assert_final_state, make_app
+
+N = 8
+
+
+def make_sparse_app(dirty_stride: int, iters: int = 6, pages: int = 8):
+    """Mutates one float per ``dirty_stride`` pages between checkpoints, so
+    the dirty footprint is 1/dirty_stride of the workspace."""
+    page_floats = 512  # 4096-byte pages of float64
+
+    def app(ctx):
+        mgr = CheckpointManager(
+            ctx, ctx.world, group_size=4, method="incremental"
+        )
+        a = mgr.alloc("data", pages * page_floats)
+        mgr.commit()
+        rep = mgr.try_restore()
+        start = rep.local["it"] if rep else 0
+        if start == 0:
+            a[:] = 0.0
+        for it in range(start, iters):
+            for p in range(0, pages, dirty_stride):
+                a[p * page_floats] += ctx.world.rank + 1
+            ctx.compute(1e8)
+            if (it + 1) % 2 == 0:
+                mgr.local["it"] = it + 1
+                mgr.checkpoint()
+        return {
+            "data": a.copy(),
+            "restore": rep,
+            "dirty_history": list(mgr.impl.dirty_bytes_history),
+            "encode_s": mgr.impl.total_encode_seconds,
+        }
+
+    return app
+
+
+class TestDirtyTracking:
+    def test_only_dirty_pages_counted(self):
+        app = make_sparse_app(dirty_stride=4, pages=8)  # 2 of 8 pages dirty
+        cluster = Cluster(N)
+        res = Job(cluster, app, N, procs_per_node=1).run()
+        assert res.completed, res.rank_errors
+        history = res.rank_results[0]["dirty_history"]
+        # first checkpoint: 2 data pages + the A2 page(s); later ones similar
+        assert all(0 < d <= 4 * 4096 for d in history)
+
+    def test_sparse_encode_cheaper_than_dense(self):
+        results = {}
+        for stride in (1, 8):  # all pages dirty vs 1/8 dirty
+            app = make_sparse_app(dirty_stride=stride, pages=8)
+            cluster = Cluster(N)
+            res = Job(cluster, app, N, procs_per_node=1).run()
+            assert res.completed
+            results[stride] = res.rank_results[0]["encode_s"]
+        assert results[8] < results[1]
+
+    def test_undo_capacity_overflow_raises(self):
+        def app(ctx):
+            mgr = CheckpointManager(
+                ctx,
+                ctx.world,
+                group_size=4,
+                method="incremental",
+                undo_fraction=0.05,
+            )
+            a = mgr.alloc("data", 8 * 512)
+            mgr.commit()
+            mgr.try_restore()
+            a[:] = 1.0  # dirty everything
+            with pytest.raises(UnrecoverableError, match="undo capacity"):
+                mgr.checkpoint()
+            ctx.world.barrier()
+            return True
+
+        cluster = Cluster(N)
+        res = Job(cluster, app, N, procs_per_node=1).run()
+        assert res.completed, res.rank_errors
+
+    def test_sum_op_rejected(self):
+        def app(ctx):
+            with pytest.raises(ValueError, match="linearity"):
+                CheckpointManager(
+                    ctx, ctx.world, group_size=4, method="incremental", op="sum"
+                )
+            return True
+
+        cluster = Cluster(N)
+        # the rejected constructor already split a group communicator, so
+        # every rank must attempt it (collective) — which app() does
+        assert Job(cluster, app, N, procs_per_node=1).run().completed
+
+
+class TestRecovery:
+    @pytest.mark.parametrize(
+        "phase", ["ckpt.undo_ready", "ckpt.flush", "ckpt.done"]
+    )
+    def test_recovers_at_every_phase(self, cycle, phase):
+        app = make_app("incremental")
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=2)
+        assert_final_state(second, N)
+
+    def test_midupdate_failure_rolls_back_one_epoch(self, cycle):
+        """The undo log's whole purpose: a failure inside the in-place
+        update recovers the previous checkpoint, not garbage."""
+        app = make_app("incremental")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.flush", occurrence=2)
+        report = second.rank_results[0]["restore"]
+        assert report.epoch == 1  # epoch 2's update was rolled back
+        assert report.local["it"] == 2
+
+    def test_clean_restart_resumes(self):
+        app = make_app("incremental")
+        cluster = Cluster(N)
+        assert Job(cluster, app, N, procs_per_node=1).run().completed
+        res = Job(cluster, app, N, procs_per_node=1).run()
+        assert_final_state(res, N)
+        assert res.rank_results[0]["restore"].local["it"] == 6
+
+    def test_full_footprint_memory_worse_than_self(self):
+        """The paper's §1 argument: with HPL-like full-footprint mutation,
+        incremental needs checkpoint + full undo, beating no one."""
+        overheads = {}
+        for method in ("incremental", "self"):
+            app = make_app(method, array_len=8192)
+            cluster = Cluster(N)
+            res = Job(cluster, app, N, procs_per_node=1).run()
+            assert res.completed
+            overheads[method] = res.rank_results[0]["overhead"]
+        assert overheads["incremental"] > overheads["self"]

@@ -1,0 +1,82 @@
+"""PFS device contention and multi-rank-per-node recovery scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import HDD, PFS, CheckpointManager
+from repro.sim import Cluster, FailurePlan, Job, NodeSpec, PhaseTrigger
+from tests.ckpt.conftest import assert_final_state
+
+
+class TestPFS:
+    def test_whole_job_contention_slower_than_local_disk(self):
+        """Paper §6.2: a distributed FS shared by every rank is much slower
+        than local devices for checkpoint traffic."""
+        image = 256 * 2**20  # 256 MiB per rank
+        n_ranks = 1024
+        t_pfs = PFS.write_time(image, ranks_sharing=n_ranks)
+        t_local_hdd = HDD.write_time(image, ranks_sharing=24)
+        assert t_pfs > t_local_hdd
+
+    def test_pfs_fast_for_single_writer(self):
+        image = 256 * 2**20
+        assert PFS.write_time(image) < HDD.write_time(image)
+
+
+class TestMultiRankNodes:
+    def test_node_loss_kills_two_groups_both_recover(self):
+        """Two ranks per node: one power-off removes a member from TWO
+        different encoding groups; both must reconstruct."""
+        iters = 6
+
+        def app(ctx):
+            mgr = CheckpointManager(
+                ctx, ctx.world, group_size=4, method="self"
+            )
+            a = mgr.alloc("data", 16)
+            mgr.commit()
+            rep = mgr.try_restore()
+            start = rep.local["it"] if rep else 0
+            for it in range(start, iters):
+                a += ctx.world.rank + 1
+                ctx.compute(1e8)
+                if (it + 1) % 2 == 0:
+                    mgr.local["it"] = it + 1
+                    mgr.checkpoint()
+            return {"data": a.copy(), "restore": rep}
+
+        # 8 ranks on 4 nodes; stride groups of 4 = [0,2,4,6], [1,3,5,7];
+        # node 1 hosts ranks 2 and 3 — one member of EACH group
+        cluster = Cluster(4, NodeSpec(cores=2), n_spares=2)
+        plan = FailurePlan(
+            [PhaseTrigger(node_id=1, phase="ckpt.flush", occurrence=2)]
+        )
+        job = Job(cluster, app, 8, procs_per_node=2, failure_plan=plan)
+        first = job.run()
+        assert first.aborted and first.failed_nodes == [1]
+        repl = cluster.replace_dead()
+        ranklist = [repl.get(n, n) for n in job.ranklist]
+        second = Job(cluster, app, 8, ranklist=ranklist).run()
+        assert_final_state(second, 8, iters=iters)
+        for r in (0, 1):
+            rep = second.rank_results[r]["restore"]
+            assert rep.reconstructed == (1,)  # grank 1 in each group
+
+    def test_group_node_distinctness_enforced_on_colocated_pairs(self):
+        """A grouping that would put two ranks of one group on one node is
+        rejected (a single power-off would cost two stripes)."""
+
+        def app(ctx):
+            with pytest.raises(ValueError, match="co-located"):
+                # 8 ranks on 4 nodes, stride groups of 2 pair ranks
+                # (r, r+4): ranks 0 and 4 share... nodes are r//2, so the
+                # pair (0, 4) is on nodes (0, 2) — fine; force collision
+                # with topology strategy on an adversarial ranklist instead
+                from repro.ckpt.grouping import partition_groups
+
+                layout = partition_groups(8, 2, strategy="block")
+                layout.validate_node_distinct([r // 2 for r in range(8)])
+            return True
+
+        cluster = Cluster(4, NodeSpec(cores=2))
+        assert Job(cluster, app, 8, procs_per_node=2).run().completed

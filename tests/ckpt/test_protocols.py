@@ -1,0 +1,221 @@
+"""Integration tests of the three in-memory protocols under injected
+failures — the heart of the reproduction (paper Figs. 2-5).
+
+Scenario matrix: for each protocol, a node is powered off at every protocol
+phase; the job is restarted daemon-style and must either recover the exact
+state (fully fault-tolerant protocols) or report the precise inconsistency
+(single checkpoint mid-update).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointManager
+from repro.sim import Cluster, Job, UnrecoverableError
+from tests.ckpt.conftest import assert_final_state, make_app
+
+N = 8  # world size; group size 4 -> 2 groups
+
+
+class TestSelfCheckpoint:
+    """The contribution: recovery succeeds at EVERY phase (Fig. 4)."""
+
+    @pytest.mark.parametrize(
+        "phase,expected_source",
+        [
+            ("ckpt.begin", None),  # before 1st checkpoint -> fresh start
+            ("ckpt.copy_a2", None),
+            ("ckpt.encode", None),  # D incomplete -> B,C path, but epoch 0
+            ("ckpt.flush_license", "workspace"),  # CASE 2
+            ("ckpt.flush", "workspace"),  # CASE 2
+            ("ckpt.done", "checkpoint"),  # CASE 1 (post-commit)
+        ],
+    )
+    def test_first_checkpoint_failures(self, cycle, phase, expected_source):
+        app = make_app("self")
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=1)
+        assert_final_state(second, N)
+        report = second.rank_results[0]["restore"]
+        if expected_source is None:
+            assert report is None
+        else:
+            assert report.source == expected_source
+
+    @pytest.mark.parametrize(
+        "phase,expected_source",
+        [
+            ("ckpt.encode", "checkpoint"),  # 2nd encode dies -> roll to epoch 1
+            ("ckpt.flush", "workspace"),  # 2nd flush dies -> adopt live data
+            ("ckpt.done", "checkpoint"),
+        ],
+    )
+    def test_second_checkpoint_failures(self, cycle, phase, expected_source):
+        app = make_app("self")
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=2)
+        assert_final_state(second, N)
+        assert second.rank_results[0]["restore"].source == expected_source
+
+    def test_restored_epoch_rolls_back_correctly(self, cycle):
+        """Failure during 2nd encode loses epoch 2; resume from epoch 1."""
+        app = make_app("self")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.encode", occurrence=2)
+        report = second.rank_results[0]["restore"]
+        assert report.local["it"] == 2  # epoch 1 covered iterations 0-1
+
+    def test_replacement_rank_is_reconstructed(self, cycle):
+        app = make_app("self")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.flush", fail_node=3)
+        # node 3 ran world rank 3; stride groups of 4 put it in group 1
+        # (odd world ranks) at group-rank 1 — only that group reconstructs
+        for r in range(N):
+            report = second.rank_results[r]["restore"]
+            assert report.reconstructed == ((1,) if r % 2 == 1 else ())
+        assert_final_state(second, N)
+
+    def test_two_failures_in_one_group_unrecoverable(self):
+        app = make_app("self")
+        cluster = Cluster(N, n_spares=4)
+        job = Job(cluster, app, N, procs_per_node=1)
+        assert job.run().completed
+        # kill two nodes of group 0 (stride groups: ranks 0,2,4,6)
+        cluster.fail_node(0)
+        cluster.fail_node(2)
+        repl = cluster.replace_dead()
+        ranklist = [repl.get(n, n) for n in job.ranklist]
+        res = Job(cluster, app, N, ranklist=ranklist).run()
+        assert not res.completed
+        assert any(
+            isinstance(e, UnrecoverableError) for e in res.rank_errors.values()
+        )
+
+    def test_two_failures_in_different_groups_recoverable(self):
+        app = make_app("self")
+        cluster = Cluster(N, n_spares=4)
+        job = Job(cluster, app, N, procs_per_node=1)
+        assert job.run().completed
+        cluster.fail_node(0)  # group 0 (rank 0)
+        cluster.fail_node(1)  # group 1 (rank 1)
+        repl = cluster.replace_dead()
+        ranklist = [repl.get(n, n) for n in job.ranklist]
+        res = Job(cluster, app, N, ranklist=ranklist).run()
+        assert_final_state(res, N)
+
+    def test_sum_encoding_also_recovers(self, cycle):
+        app = make_app("self", op="sum")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.flush")
+        assert_final_state(second, N)
+
+    def test_restart_without_failure_resumes_from_checkpoint(self):
+        """A clean restart (e.g. job killed externally) resumes at the last
+        committed checkpoint rather than recomputing everything."""
+        app = make_app("self")
+        cluster = Cluster(N, n_spares=0)
+        job = Job(cluster, app, N, procs_per_node=1)
+        assert job.run().completed
+        res = Job(cluster, app, N, procs_per_node=1).run()
+        assert_final_state(res, N)
+        # the rerun restored from the final checkpoint (iteration 6)
+        assert res.rank_results[0]["restore"].local["it"] == 6
+
+    def test_memory_overhead_matches_table1(self):
+        """Per-rank overhead ~= M + 2M/(N-1) (B + C + D), Table 1."""
+        app = make_app("self", group_size=4, array_len=4096)
+        cluster = Cluster(N)
+        res = Job(cluster, app, N, procs_per_node=1).run()
+        overhead = res.rank_results[0]["overhead"]
+        padded = None
+        # reconstruct expected values from the protocol's sizing rules
+        from repro.ckpt.stripes import checksum_size, padded_size
+
+        raw = 4096 * 8 + 8 + 4096  # array + a2 header + a2 capacity
+        padded = padded_size(raw, 4)
+        cs = checksum_size(padded, 4)
+        b2 = 8 + 4096
+        ctrl = 8 * 4
+        assert overhead == padded + 2 * cs + b2 + ctrl
+
+
+class TestSingleCheckpoint:
+    """Fig. 2: recovers from compute-phase failures only."""
+
+    def test_compute_phase_failure_recovers(self, cycle):
+        app = make_app("single")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.done", occurrence=1)
+        assert_final_state(second, N)
+        assert second.rank_results[0]["restore"].epoch == 1
+
+    @pytest.mark.parametrize("phase", ["ckpt.update", "ckpt.update.mid"])
+    def test_update_phase_failure_unrecoverable(self, cycle, phase):
+        """CASE 2 of Fig. 2: B and C are inconsistent."""
+        app = make_app("single")
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=2)
+        assert not second.completed
+        assert any(
+            isinstance(e, UnrecoverableError)
+            for e in second.rank_errors.values()
+        )
+
+    def test_failure_before_any_checkpoint_is_fresh_start(self, cycle):
+        app = make_app("single")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.begin", occurrence=1)
+        assert_final_state(second, N)
+        assert second.rank_results[0]["restore"] is None
+
+
+class TestDoubleCheckpoint:
+    """Fig. 3: fully fault tolerant via the alternating second copy."""
+
+    @pytest.mark.parametrize(
+        "phase,occurrence",
+        [
+            ("ckpt.update", 1),
+            ("ckpt.update.mid", 1),
+            ("ckpt.flush", 1),
+            ("ckpt.done", 1),
+            ("ckpt.update", 2),
+            ("ckpt.update.mid", 2),
+            ("ckpt.done", 2),
+        ],
+    )
+    def test_recovers_at_every_phase(self, cycle, phase, occurrence):
+        app = make_app("double")
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=occurrence)
+        assert_final_state(second, N)
+
+    def test_mid_update_rolls_back_one_epoch(self, cycle):
+        """Failure during the 2nd update must recover the 1st checkpoint."""
+        app = make_app("double")
+        _, second = cycle(app, n_ranks=N, phase="ckpt.update.mid", occurrence=2)
+        report = second.rank_results[0]["restore"]
+        assert report.epoch == 1
+        assert report.local["it"] == 2
+
+    def test_overhead_roughly_twice_single(self):
+        cluster = Cluster(N)
+        out = {}
+        for method in ("single", "double"):
+            app = make_app(method, array_len=4096)
+            res = Job(
+                cluster, app, N, procs_per_node=1
+            ).run()
+            out[method] = res.rank_results[0]["overhead"]
+            # wipe SHM between methods
+            for node in cluster.all_nodes():
+                node.shm.clear()
+        assert out["double"] > 1.9 * out["single"]
+
+
+class TestCrossGroupConsistency:
+    """All groups must restore the same application iteration even though
+    only one group lost a member — the global-cut property."""
+
+    @pytest.mark.parametrize("method", ["self", "double"])
+    @pytest.mark.parametrize("phase", ["ckpt.flush", "ckpt.done"])
+    def test_groups_agree_on_restored_iteration(self, cycle, method, phase):
+        app = make_app(method)
+        _, second = cycle(app, n_ranks=N, phase=phase, occurrence=2)
+        assert_final_state(second, N)
+        its = {
+            second.rank_results[r]["restore"].local["it"] for r in range(N)
+        }
+        assert len(its) == 1, f"groups restored different iterations: {its}"

@@ -1,0 +1,108 @@
+"""Randomized protocol scenarios (hypothesis): for ANY failure phase and
+group configuration, the fully-fault-tolerant protocols must recover the
+exact state, and the single-checkpoint must either recover or report the
+inconsistency honestly — never return wrong data silently."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger, UnrecoverableError
+from tests.ckpt.conftest import make_app
+
+SELF_PHASES = [
+    "ckpt.begin",
+    "ckpt.copy_a2",
+    "ckpt.encode",
+    "ckpt.flush_license",
+    "ckpt.flush",
+    "ckpt.done",
+]
+UPDATE_PHASES = ["ckpt.begin", "ckpt.update", "ckpt.update.mid", "ckpt.flush", "ckpt.done"]
+
+
+def _cycle(method, phase, occurrence, fail_node, group_size=4, n_ranks=8, iters=6):
+    app = make_app(method, group_size=group_size, iters=iters)
+    cluster = Cluster(n_ranks, n_spares=2)
+    plan = FailurePlan(
+        [PhaseTrigger(node_id=fail_node, phase=phase, occurrence=occurrence)]
+    )
+    job = Job(cluster, app, n_ranks, procs_per_node=1, failure_plan=plan)
+    first = job.run()
+    if not first.aborted:
+        return "no-failure", first
+    repl = cluster.replace_dead()
+    ranklist = [repl.get(n, n) for n in job.ranklist]
+    second = Job(cluster, app, n_ranks, ranklist=ranklist).run()
+    return "restarted", second
+
+
+def _check_exact(second, n_ranks=8, iters=6):
+    for r in range(n_ranks):
+        data = second.rank_results[r]["data"]
+        assert np.all(data == iters * (r + 1)), (r, data[:4])
+
+
+class TestRandomizedSelf:
+    @given(
+        phase=st.sampled_from(SELF_PHASES),
+        occurrence=st.integers(min_value=1, max_value=3),
+        fail_node=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_self_always_recovers_exactly(self, phase, occurrence, fail_node):
+        kind, second = _cycle("self", phase, occurrence, fail_node)
+        if kind == "no-failure":
+            return  # trigger never fired (occurrence beyond run length)
+        assert second.completed, {
+            r: repr(e)[:80] for r, e in second.rank_errors.items()
+        }
+        _check_exact(second)
+
+    @given(
+        phase=st.sampled_from(UPDATE_PHASES),
+        occurrence=st.integers(min_value=1, max_value=3),
+        fail_node=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_double_always_recovers_exactly(self, phase, occurrence, fail_node):
+        kind, second = _cycle("double", phase, occurrence, fail_node)
+        if kind == "no-failure":
+            return
+        assert second.completed
+        _check_exact(second)
+
+    @given(
+        phase=st.sampled_from(UPDATE_PHASES),
+        occurrence=st.integers(min_value=1, max_value=3),
+        fail_node=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_single_never_lies(self, phase, occurrence, fail_node):
+        """Single checkpoint may be unrecoverable — but when it does
+        recover, the data must be exact."""
+        kind, second = _cycle("single", phase, occurrence, fail_node)
+        if kind == "no-failure":
+            return
+        if second.completed:
+            _check_exact(second)
+        else:
+            assert any(
+                isinstance(e, UnrecoverableError)
+                for e in second.rank_errors.values()
+            )
+
+    @given(
+        phase=st.sampled_from(SELF_PHASES),
+        occurrence=st.integers(min_value=1, max_value=3),
+        fail_node=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_self_rs_single_loss(self, phase, occurrence, fail_node):
+        kind, second = _cycle(
+            "self-rs", phase, occurrence, fail_node, group_size=8
+        )
+        if kind == "no-failure":
+            return
+        assert second.completed
+        _check_exact(second)

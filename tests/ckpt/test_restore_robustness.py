@@ -1,0 +1,71 @@
+"""Failures during RESTORE itself: recovery must be idempotent.
+
+The protocols write only their restore *target* (never the source) until
+the final flag commit, so a second failure striking mid-restore leaves a
+re-restartable state.  These tests chain failures: one during a checkpoint,
+another during the resulting recovery, and require the third incarnation to
+still land on the exact state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger
+from tests.ckpt.conftest import assert_final_state, make_app
+
+N = 8
+
+
+def _chain(method, first_phase, restore_phase, group_size=4, iters=6):
+    app = make_app(method, group_size=group_size, iters=iters)
+    cluster = Cluster(N, n_spares=4)
+    plan = FailurePlan(
+        [
+            PhaseTrigger(node_id=2, phase=first_phase, occurrence=2),
+            # second failure strikes a DIFFERENT node during the recovery
+            PhaseTrigger(node_id=5, phase=restore_phase, occurrence=1),
+        ]
+    )
+    # incarnation 1: dies at the checkpoint phase
+    job = Job(cluster, app, N, procs_per_node=1, failure_plan=plan)
+    first = job.run()
+    assert first.aborted and 2 in first.failed_nodes
+    repl = cluster.replace_dead()
+    ranklist = [repl.get(n, n) for n in job.ranklist]
+    # incarnation 2: dies during restore (the same plan is still armed)
+    job2 = Job(cluster, app, N, ranklist=ranklist, failure_plan=plan)
+    second = job2.run()
+    assert second.aborted, "restore-phase failure never fired"
+    assert 5 in second.failed_nodes
+    repl = cluster.replace_dead()
+    ranklist = [repl.get(n, n) for n in job2.ranklist]
+    # incarnation 3: must recover cleanly
+    third = Job(cluster, app, N, ranklist=ranklist).run()
+    return third
+
+
+class TestRestoreRobustness:
+    @pytest.mark.parametrize(
+        "first_phase,restore_phase",
+        [
+            ("ckpt.done", "restore.begin"),
+            ("ckpt.done", "restore.reconstruct"),
+            ("ckpt.flush", "restore.begin"),
+            ("ckpt.flush", "restore.reconstruct"),
+        ],
+    )
+    def test_self_survives_failure_during_restore(
+        self, first_phase, restore_phase
+    ):
+        third = _chain("self", first_phase, restore_phase)
+        assert_final_state(third, N)
+
+    def test_double_survives_failure_during_restore(self):
+        third = _chain("double", "ckpt.done", "restore.begin")
+        assert_final_state(third, N)
+
+    def test_self_rs_survives_failure_during_restore(self):
+        third = _chain(
+            "self-rs", "ckpt.flush", "restore.reconstruct", group_size=8
+        )
+        assert_final_state(third, N)

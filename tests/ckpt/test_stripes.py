@@ -1,0 +1,165 @@
+"""Property and unit tests for the stripe checksum arithmetic (paper §2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckpt import stripes
+from repro.ckpt.stripes import (
+    build_checksums,
+    checksum_size,
+    padded_size,
+    reconstruct,
+    slot_of_stripe,
+    stripe_in_slot,
+    verify_group,
+)
+
+
+class TestLayout:
+    def test_padded_size_alignment(self):
+        assert padded_size(1, 4) == 24  # 3 stripes * 8 bytes
+        assert padded_size(24, 4) == 24
+        assert padded_size(25, 4) == 48
+
+    def test_padded_size_rejects_tiny_group(self):
+        with pytest.raises(ValueError):
+            padded_size(100, 1)
+
+    def test_checksum_size(self):
+        assert checksum_size(24, 4) == 8
+        with pytest.raises(ValueError):
+            checksum_size(25, 4)
+
+    def test_slot_mapping_bijective(self):
+        for proc in range(8):
+            slots = [slot_of_stripe(proc, s) for s in range(7)]
+            assert proc not in slots  # own checksum slot skipped
+            assert sorted(slots) == sorted(set(slots))
+            for s in range(7):
+                assert stripe_in_slot(proc, slot_of_stripe(proc, s)) == s
+
+    def test_stripe_in_own_slot_rejected(self):
+        with pytest.raises(ValueError):
+            stripe_in_slot(3, 3)
+
+
+def _group(rng, n, words_per_stripe=4):
+    size = 8 * words_per_stripe * (n - 1)
+    return [
+        rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(n)
+    ]
+
+
+class TestBuildAndReconstruct:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8, 16])
+    @pytest.mark.parametrize("op", ["xor", "sum"])
+    def test_reconstruct_every_missing_position(self, n, op):
+        rng = np.random.default_rng(n)
+        bufs = _group(rng, n)
+        if op == "sum":
+            # make the float view finite so sum/subtract is exact-ish
+            bufs = [
+                np.random.default_rng(i).standard_normal(
+                    len(bufs[0]) // 8
+                ).view(np.uint8).copy()
+                for i in range(n)
+            ]
+        cs = build_checksums(bufs, op)
+        for missing in range(n):
+            survivors = {j: bufs[j] for j in range(n) if j != missing}
+            surv_cs = {j: cs[j] for j in range(n) if j != missing}
+            got, got_cs = reconstruct(survivors, surv_cs, missing, n, op)
+            if op == "xor":
+                np.testing.assert_array_equal(got, bufs[missing])
+                np.testing.assert_array_equal(got_cs, cs[missing])
+            else:
+                np.testing.assert_allclose(
+                    got.view(np.float64), bufs[missing].view(np.float64), rtol=1e-9
+                )
+
+    def test_verify_group(self):
+        rng = np.random.default_rng(0)
+        bufs = _group(rng, 4)
+        cs = build_checksums(bufs, "xor")
+        assert verify_group(bufs, cs, "xor")
+        bufs[1][0] ^= 0xFF
+        assert not verify_group(bufs, cs, "xor")
+
+    def test_size_mismatch_rejected(self):
+        bufs = [np.zeros(24, np.uint8), np.zeros(48, np.uint8)]
+        with pytest.raises(ValueError):
+            build_checksums(bufs + [np.zeros(24, np.uint8)], "xor")
+
+    def test_tiny_group_rejected(self):
+        with pytest.raises(ValueError):
+            build_checksums([np.zeros(8, np.uint8)], "xor")
+
+    def test_unknown_op_rejected(self):
+        bufs = [np.zeros(24, np.uint8)] * 4
+        with pytest.raises(ValueError):
+            build_checksums(bufs, "nand")
+
+    def test_wrong_dtype_rejected(self):
+        bufs = [np.zeros(24, np.float32)] * 4
+        with pytest.raises(TypeError):
+            build_checksums(bufs, "xor")
+
+    def test_reconstruct_needs_exact_survivor_set(self):
+        rng = np.random.default_rng(1)
+        bufs = _group(rng, 4)
+        cs = build_checksums(bufs)
+        with pytest.raises(ValueError):
+            reconstruct({0: bufs[0]}, {0: cs[0]}, missing=3, group_size=4)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=9),
+        words=st.integers(min_value=1, max_value=16),
+        missing=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_xor_roundtrip_property(self, n, words, missing, seed):
+        """For any group size, buffer size and missing member: XOR
+        reconstruction is bit-exact."""
+        missing %= n
+        rng = np.random.default_rng(seed)
+        bufs = [
+            rng.integers(0, 256, size=8 * words * (n - 1), dtype=np.uint8)
+            for _ in range(n)
+        ]
+        cs = build_checksums(bufs, "xor")
+        got, got_cs = reconstruct(
+            {j: bufs[j] for j in range(n) if j != missing},
+            {j: cs[j] for j in range(n) if j != missing},
+            missing,
+            n,
+            "xor",
+        )
+        np.testing.assert_array_equal(got, bufs[missing])
+        np.testing.assert_array_equal(got_cs, cs[missing])
+
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_checksum_total_size_property(self, n, seed):
+        """Total checksum bytes = data bytes / (N-1): the paper's space
+        claim for one checksum (section 3.1)."""
+        rng = np.random.default_rng(seed)
+        bufs = _group(rng, n)
+        cs = build_checksums(bufs)
+        assert all(len(c) == len(bufs[0]) // (n - 1) for c in cs)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_xor_checksums_are_order_insensitive(self, seed):
+        rng = np.random.default_rng(seed)
+        bufs = _group(rng, 4)
+        cs1 = build_checksums(bufs, "xor")
+        cs2 = build_checksums([b.copy() for b in bufs], "xor")
+        for a, b in zip(cs1, cs2):
+            np.testing.assert_array_equal(a, b)

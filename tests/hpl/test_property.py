@@ -1,0 +1,61 @@
+"""Property-based HPL testing: for ANY small geometry, the distributed
+solver must match the serial reference."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hpl import HPLConfig, hpl_main
+from repro.hpl.matgen import dense_matrix, dense_rhs
+from repro.sim import Cluster, Job
+
+
+@given(
+    n=st.integers(min_value=8, max_value=48),
+    nb=st.integers(min_value=2, max_value=12),
+    p=st.integers(min_value=1, max_value=3),
+    q=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_hpl_matches_serial_for_any_geometry(n, nb, p, q, seed):
+    nb = min(nb, n)
+    cfg = HPLConfig(n=n, nb=nb, p=p, q=q, seed=seed)
+    cluster = Cluster(cfg.n_ranks)
+    res = Job(
+        cluster, lambda ctx: hpl_main(ctx, cfg), cfg.n_ranks, procs_per_node=1
+    ).run()
+    assert res.completed, res.rank_errors
+    r0 = res.rank_results[0]
+    x_ref = np.linalg.solve(dense_matrix(cfg), dense_rhs(cfg))
+    assert r0.passed
+    np.testing.assert_allclose(r0.x, x_ref, rtol=1e-7, atol=1e-9)
+
+
+@given(
+    n=st.integers(min_value=8, max_value=40),
+    nb=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=10, deadline=None)
+def test_skt_restart_equals_straight_run(n, nb, seed):
+    """Checkpoint/restore must be semantically invisible: an SKT run that
+    restores from a clean mid-run checkpoint produces the same solution as
+    an uninterrupted run."""
+    from repro.hpl import SKTConfig, skt_hpl_main
+
+    nb = min(nb, n)
+    cfg = HPLConfig(n=n, nb=nb, p=2, q=2, seed=seed)
+    scfg = SKTConfig(hpl=cfg, method="self", group_size=4, interval_panels=2)
+
+    cluster = Cluster(4)
+    first = Job(cluster, skt_hpl_main, 4, args=(scfg,), procs_per_node=1).run()
+    assert first.completed, first.rank_errors
+    # rerun on the same cluster: restores from the last checkpoint
+    second = Job(cluster, skt_hpl_main, 4, args=(scfg,), procs_per_node=1).run()
+    assert second.completed, second.rank_errors
+    np.testing.assert_array_equal(
+        first.rank_results[0].hpl.x, second.rank_results[0].hpl.x
+    )
+    # wipe SHM so the next hypothesis example starts clean
+    for node in cluster.all_nodes():
+        node.shm.clear()

@@ -1,0 +1,83 @@
+"""Tests for the reliability projection module."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.reliability import (
+    expected_failures,
+    p_fault_free,
+    p_interval_survives_grouped,
+    scale_sweep,
+)
+
+
+class TestFaultFree:
+    def test_zero_duration_certain(self):
+        assert p_fault_free(0.0, 1000, 1e6) == 1.0
+
+    def test_matches_closed_form(self):
+        assert p_fault_free(100.0, 10, 1000.0) == pytest.approx(math.exp(-1.0))
+
+    def test_scale_erodes_reliability(self):
+        ps = [p_fault_free(3600, n, 1e7) for n in (10, 100, 1000, 10000)]
+        assert ps == sorted(ps, reverse=True)
+
+    @given(
+        run=st.floats(min_value=0, max_value=1e7),
+        n=st.integers(min_value=1, max_value=10**6),
+        mtbf=st.floats(min_value=1.0, max_value=1e10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probability_bounds(self, run, n, mtbf):
+        assert 0.0 <= p_fault_free(run, n, mtbf) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            p_fault_free(-1, 10, 100)
+        with pytest.raises(ValueError):
+            expected_failures(1, 0, 100)
+
+
+class TestExpectedFailures:
+    def test_daily_failures_at_scale(self):
+        """The paper's §1: 'Blue Waters and Titan have failures everyday'.
+        ~27k nodes with 5-year per-node MTBF -> about one failure every
+        ~1.4 hours of machine time accumulated per day."""
+        failures_per_day = expected_failures(
+            24 * 3600, 27648, 5 * 365 * 24 * 3600
+        )
+        assert failures_per_day > 1.0  # daily failures indeed
+
+
+class TestGroupedInterval:
+    def test_better_than_fault_free_requirement(self):
+        """Grouped tolerance (1 loss per group per interval) must beat the
+        all-or-nothing fault-free probability over the same interval."""
+        kwargs = dict(n_nodes=4096, mtbf_node_s=1e7, group_size=16)
+        p_grouped = p_interval_survives_grouped(600.0, **kwargs)
+        p_none = p_fault_free(600.0, 4096, 1e7)
+        assert p_grouped > p_none
+
+    def test_smaller_groups_more_robust(self):
+        p4 = p_interval_survives_grouped(600.0, 4096, 1e6, 4)
+        p32 = p_interval_survives_grouped(600.0, 4096, 1e6, 32)
+        assert p4 > p32
+
+
+class TestSweep:
+    def test_monotone_trends(self):
+        points = scale_sweep()
+        ff = [p.p_fault_free_run for p in points]
+        ef = [p.expected_failures for p in points]
+        assert ff == sorted(ff, reverse=True)
+        assert ef == sorted(ef)
+
+    def test_exascale_regime_hopeless_without_ft(self):
+        """At 65536 nodes and a 5-year node MTBF, a fault-free 24h run is
+        essentially impossible — the paper's motivating regime."""
+        point = scale_sweep()[-1]
+        assert point.n_nodes == 65536
+        assert point.p_fault_free_run < 0.01
+        assert point.p_interval_ok_grouped > 0.95

@@ -1,0 +1,141 @@
+"""Tests for the cluster (spares, ranklists) and failure machinery."""
+
+import pytest
+
+from repro.sim import (
+    Cluster,
+    FailurePlan,
+    MTBFFailureGenerator,
+    NodeSpec,
+    PhaseTrigger,
+    SimError,
+    TimeTrigger,
+)
+
+
+class TestCluster:
+    def test_sizes(self):
+        cl = Cluster(4, n_spares=2)
+        assert len(cl.nodes) == 4
+        assert cl.spare_ids == [4, 5]
+        assert len(cl.all_nodes()) == 6
+
+    def test_needs_one_node(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_default_ranklist_block_placement(self):
+        cl = Cluster(3, NodeSpec(cores=2))
+        assert cl.default_ranklist(6) == [0, 0, 1, 1, 2, 2]
+        assert cl.default_ranklist(3, procs_per_node=1) == [0, 1, 2]
+
+    def test_ranklist_overflow(self):
+        cl = Cluster(2, NodeSpec(cores=2))
+        with pytest.raises(SimError):
+            cl.default_ranklist(5)
+
+    def test_replace_dead_uses_spares_in_order(self):
+        cl = Cluster(4, n_spares=2)
+        cl.fail_node(1)
+        cl.fail_node(3)
+        repl = cl.replace_dead()
+        assert repl == {1: 4, 3: 5}
+        assert cl.active_ids == [0, 4, 2, 5]
+        assert cl.dead_nodes() == []
+
+    def test_spare_pool_exhaustion(self):
+        cl = Cluster(2, n_spares=0)
+        cl.fail_node(0)
+        with pytest.raises(SimError):
+            cl.replace_dead()
+
+    def test_dead_spare_skipped(self):
+        cl = Cluster(2, n_spares=2)
+        cl.fail_node(2)  # kill the first spare
+        cl.fail_node(0)
+        repl = cl.replace_dead()
+        assert repl == {0: 3}
+
+    def test_add_spares(self):
+        cl = Cluster(2, n_spares=0)
+        cl.add_spares(3)
+        assert len(cl.spare_ids) == 3
+
+    def test_ranks_on_node(self):
+        cl = Cluster(2, NodeSpec(cores=2))
+        rl = cl.default_ranklist(4)
+        assert cl.ranks_on_node(rl, 0) == [0, 1]
+        assert cl.ranks_on_node(rl, 1) == [2, 3]
+
+    def test_healthy(self):
+        cl = Cluster(3)
+        assert cl.healthy([0, 1, 2])
+        cl.fail_node(1)
+        assert not cl.healthy([0, 1])
+        assert cl.healthy([0, 2])
+
+    def test_stable_store_survives_failure(self):
+        cl = Cluster(2)
+        cl.stable_store["k"] = b"data"
+        cl.fail_node(0)
+        assert cl.stable_store["k"] == b"data"
+
+
+class TestTriggers:
+    def test_time_trigger_fires_once(self):
+        plan = FailurePlan([TimeTrigger(node_id=1, at_time=5.0)])
+        assert not plan.check_time(1, 4.9)
+        assert plan.check_time(1, 5.0)
+        assert not plan.check_time(1, 6.0)  # consumed
+        assert len(plan.fired) == 1
+
+    def test_time_trigger_other_node_ignored(self):
+        plan = FailurePlan([TimeTrigger(node_id=1, at_time=5.0)])
+        assert not plan.check_time(0, 100.0)
+
+    def test_phase_trigger_occurrence(self):
+        plan = FailurePlan([PhaseTrigger(node_id=0, phase="ckpt", occurrence=3)])
+        assert not plan.check_phase(0, 0, "ckpt")
+        assert not plan.check_phase(0, 0, "ckpt")
+        assert plan.check_phase(0, 0, "ckpt")
+
+    def test_phase_trigger_rank_filter(self):
+        plan = FailurePlan([PhaseTrigger(node_id=0, phase="p", rank=2)])
+        assert not plan.check_phase(0, 1, "p")
+        assert plan.check_phase(0, 2, "p")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeTrigger(node_id=0, at_time=-1)
+        with pytest.raises(ValueError):
+            PhaseTrigger(node_id=0, phase="p", occurrence=0)
+
+    def test_empty(self):
+        assert FailurePlan().empty
+        assert not FailurePlan([TimeTrigger(0, 1.0)]).empty
+
+
+class TestMTBF:
+    def test_deterministic_with_seed(self):
+        a = MTBFFailureGenerator(1000.0, seed=3).draw_failure_time()
+        b = MTBFFailureGenerator(1000.0, seed=3).draw_failure_time()
+        assert a == b
+
+    def test_schedule_within_horizon(self):
+        gen = MTBFFailureGenerator(100.0, seed=1)
+        trig = gen.schedule(list(range(50)), horizon_s=50.0)
+        assert all(t.at_time <= 50.0 for t in trig)
+        assert trig == sorted(trig, key=lambda t: t.at_time)
+
+    def test_system_mtbf_scales_inversely(self):
+        gen = MTBFFailureGenerator(1e6)
+        assert gen.system_mtbf(1000) == pytest.approx(1e3)
+
+    def test_mean_is_roughly_mtbf(self):
+        gen = MTBFFailureGenerator(500.0, seed=7)
+        xs = [gen.draw_failure_time() for _ in range(4000)]
+        assert sum(xs) / len(xs) == pytest.approx(500.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MTBFFailureGenerator(0)

@@ -1,0 +1,80 @@
+"""Virtual-time determinism: results and clocks must not depend on the
+host's thread scheduling.
+
+Collectives synchronize every participant to max(entry clocks) + cost, and
+point-to-point channels are FIFO with arrival times fixed by the sender's
+program order, so a job's virtual makespan (and of course its data) is a
+pure function of the program — repeated runs must agree to the bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpl import HPLConfig, SKTConfig, hpl_main, skt_hpl_main
+from repro.sim import Cluster, Job
+
+
+def _repeat(build_job, times=3):
+    outs = []
+    for _ in range(times):
+        outs.append(build_job().run())
+    return outs
+
+
+class TestDeterminism:
+    def test_hpl_makespan_bit_identical(self):
+        cfg = HPLConfig(n=64, nb=8, p=2, q=4)
+
+        def build():
+            return Job(
+                Cluster(8), lambda ctx: hpl_main(ctx, cfg), 8, procs_per_node=1
+            )
+
+        runs = _repeat(build)
+        assert len({r.makespan for r in runs}) == 1
+        for r in runs[1:]:
+            np.testing.assert_array_equal(
+                r.rank_results[0].x, runs[0].rank_results[0].x
+            )
+
+    def test_per_rank_clocks_identical(self):
+        cfg = HPLConfig(n=48, nb=8, p=2, q=2)
+
+        def build():
+            return Job(
+                Cluster(4), lambda ctx: hpl_main(ctx, cfg), 4, procs_per_node=1
+            )
+
+        a, b = _repeat(build, times=2)
+        assert a.rank_clocks == b.rank_clocks
+
+    def test_skt_checkpointed_run_deterministic(self):
+        cfg = HPLConfig(n=64, nb=8, p=2, q=4)
+        scfg = SKTConfig(hpl=cfg, method="self", group_size=4, interval_panels=2)
+
+        def build():
+            return Job(Cluster(8), skt_hpl_main, 8, args=(scfg,), procs_per_node=1)
+
+        runs = _repeat(build)
+        spans = {r.makespan for r in runs}
+        assert len(spans) == 1
+        encodes = {r.rank_results[0].ckpt_encode_s for r in runs}
+        assert len(encodes) == 1
+
+    def test_mixed_pt2pt_collective_deterministic(self):
+        def ring(ctx):
+            comm = ctx.world
+            r, p = comm.rank, comm.size
+            acc = 0.0
+            for i in range(10):
+                comm.send(np.full(64, float(r + i)), (r + 1) % p, tag=i)
+                acc += float(comm.recv((r - 1) % p, tag=i)[0])
+                comm.allreduce(np.array([acc]))
+            return (acc, ctx.clock)
+
+        outs = []
+        for _ in range(3):
+            res = Job(Cluster(8), ring, 8, procs_per_node=1).run()
+            assert res.completed
+            outs.append(tuple(sorted(res.rank_results.items())))
+        assert outs[0] == outs[1] == outs[2]

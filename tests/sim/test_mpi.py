@@ -1,0 +1,294 @@
+"""Tests for the MPI-like communicator: pt2pt, collectives, split, clocks."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Cluster, Job, ReduceOp
+
+
+def run(main, n_ranks=4, procs_per_node=2, n_nodes=4, **job_kwargs):
+    cl = Cluster(n_nodes)
+    job = Job(cl, main, n_ranks, procs_per_node=procs_per_node, **job_kwargs)
+    res = job.run()
+    assert res.completed, res.rank_errors
+    return res
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def main(ctx):
+            comm = ctx.world
+            r, p = comm.rank, comm.size
+            comm.send(np.full(8, r, dtype=np.int64), (r + 1) % p, tag=5)
+            got = comm.recv((r - 1) % p, tag=5)
+            assert np.all(got == (r - 1) % p)
+            return True
+
+        run(main)
+
+    def test_payload_isolation(self):
+        """A received array must not alias the sender's buffer."""
+
+        def main(ctx):
+            comm = ctx.world
+            if comm.rank == 0:
+                buf = np.ones(4)
+                comm.send(buf, 1)
+                buf[:] = 99.0  # mutate after send
+            elif comm.rank == 1:
+                got = comm.recv(0)
+                assert np.all(got == 1.0)
+            return True
+
+        run(main, n_ranks=2)
+
+    def test_tag_matching(self):
+        def main(ctx):
+            comm = ctx.world
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+            elif comm.rank == 1:
+                assert comm.recv(0, tag=2) == "b"
+                assert comm.recv(0, tag=1) == "a"
+            return True
+
+        run(main, n_ranks=2)
+
+    def test_fifo_per_channel(self):
+        def main(ctx):
+            comm = ctx.world
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, 1)
+            elif comm.rank == 1:
+                got = [comm.recv(0) for _ in range(5)]
+                assert got == list(range(5))
+            return True
+
+        run(main, n_ranks=2)
+
+    def test_sendrecv(self):
+        def main(ctx):
+            comm = ctx.world
+            r, p = comm.rank, comm.size
+            got = comm.sendrecv(r, dest=(r + 1) % p, source=(r - 1) % p)
+            assert got == (r - 1) % p
+            return True
+
+        run(main)
+
+    def test_recv_advances_clock(self):
+        def main(ctx):
+            comm = ctx.world
+            if comm.rank == 0:
+                ctx.elapse(1.0)
+                comm.send(np.zeros(1000), 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+                assert ctx.clock >= 1.0  # receive completes after the send
+            return True
+
+        run(main, n_ranks=2)
+
+    def test_bad_dest_rejected(self):
+        def main(ctx):
+            if ctx.world.rank == 0:
+                with pytest.raises(ValueError):
+                    ctx.world.send(1, dest=99)
+            return True
+
+        run(main, n_ranks=2)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def main(ctx):
+            comm = ctx.world
+            data = {"v": 42} if comm.rank == 1 else None
+            got = comm.bcast(data, root=1)
+            assert got == {"v": 42}
+            return True
+
+        run(main)
+
+    def test_reduce_sum_root_only(self):
+        def main(ctx):
+            comm = ctx.world
+            out = comm.reduce(np.full(4, float(comm.rank)), ReduceOp.SUM, root=2)
+            if comm.rank == 2:
+                assert np.all(out == sum(range(comm.size)))
+            else:
+                assert out is None
+            return True
+
+        run(main)
+
+    def test_allreduce_bxor(self):
+        def main(ctx):
+            comm = ctx.world
+            v = np.array([1 << comm.rank], dtype=np.uint64)
+            out = comm.allreduce(v, ReduceOp.BXOR)
+            assert out[0] == (1 << comm.size) - 1
+            return True
+
+        run(main)
+
+    def test_allreduce_max_min(self):
+        def main(ctx):
+            comm = ctx.world
+            r = float(comm.rank)
+            assert comm.allreduce(np.array([r]), ReduceOp.MAX)[0] == comm.size - 1
+            assert comm.allreduce(np.array([r]), ReduceOp.MIN)[0] == 0.0
+            return True
+
+        run(main)
+
+    def test_allreduce_obj_maxloc(self):
+        """The HPL pivot-search pattern."""
+
+        def main(ctx):
+            comm = ctx.world
+            mine = (abs(3.0 - comm.rank), comm.rank)  # rank 3 has max... min value
+            best = comm.allreduce_obj(mine, lambda a, b: max(a, b))
+            assert best[1] == 0  # rank 0 holds value 3.0, the max
+            return True
+
+        run(main)
+
+    def test_gather_allgather(self):
+        def main(ctx):
+            comm = ctx.world
+            out = comm.gather(comm.rank * 10, root=0)
+            if comm.rank == 0:
+                assert out == [0, 10, 20, 30]
+            else:
+                assert out is None
+            assert comm.allgather(comm.rank) == [0, 1, 2, 3]
+            return True
+
+        run(main)
+
+    def test_scatter(self):
+        def main(ctx):
+            comm = ctx.world
+            items = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            got = comm.scatter(items, root=0)
+            assert got == comm.rank**2
+            return True
+
+        run(main)
+
+    def test_alltoall(self):
+        def main(ctx):
+            comm = ctx.world
+            out = comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+            assert out == [f"{s}->{comm.rank}" for s in range(comm.size)]
+            return True
+
+        run(main)
+
+    def test_barrier_synchronizes_clocks(self):
+        def main(ctx):
+            comm = ctx.world
+            ctx.elapse(float(comm.rank))  # skewed clocks
+            comm.barrier()
+            assert ctx.clock >= comm.size - 1
+            return True
+
+        run(main)
+
+    def test_collective_clock_sync(self):
+        def main(ctx):
+            comm = ctx.world
+            ctx.elapse(2.0 if comm.rank == 0 else 0.0)
+            comm.allreduce(np.zeros(8))
+            assert ctx.clock >= 2.0  # everyone waits for the slowest
+            return True
+
+        run(main)
+
+    def test_back_to_back_collectives(self):
+        def main(ctx):
+            comm = ctx.world
+            for i in range(20):
+                s = comm.allreduce(np.array([1.0]))
+                assert s[0] == comm.size
+            return True
+
+        run(main, n_ranks=8, n_nodes=4)
+
+    def test_bcast_deep_copies_to_peers(self):
+        def main(ctx):
+            comm = ctx.world
+            arr = comm.bcast(np.zeros(4), root=0)
+            arr += comm.rank  # each rank's copy is private
+            total = comm.allreduce(arr, ReduceOp.SUM)
+            assert total[0] == sum(range(comm.size))
+            return True
+
+        run(main)
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def main(ctx):
+            comm = ctx.world
+            sub = comm.split(color=comm.rank % 2)
+            assert sub.size == comm.size // 2
+            assert sub.members == [
+                r for r in range(comm.size) if r % 2 == comm.rank % 2
+            ]
+            s = sub.allreduce(np.array([float(comm.rank)]))
+            expect = sum(r for r in range(comm.size) if r % 2 == comm.rank % 2)
+            assert s[0] == expect
+            return True
+
+        run(main, n_ranks=8, n_nodes=4)
+
+    def test_split_key_ordering(self):
+        def main(ctx):
+            comm = ctx.world
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            assert sub.rank == comm.size - 1 - comm.rank
+            return True
+
+        run(main)
+
+    def test_nested_split(self):
+        def main(ctx):
+            comm = ctx.world
+            row = comm.split(color=comm.rank // 2)
+            col = comm.split(color=comm.rank % 2)
+            assert row.size == 2 and col.size == 2
+            row.barrier()
+            col.barrier()
+            return True
+
+        run(main)
+
+
+class TestVirtualTime:
+    def test_compute_charges_core_speed(self):
+        def main(ctx):
+            ctx.compute(ctx.node.spec.flops_per_core)  # exactly 1s of work
+            assert ctx.clock == pytest.approx(1.0)
+            return True
+
+        run(main, n_ranks=1, procs_per_node=1, n_nodes=1)
+
+    def test_efficiency_scales_time(self):
+        def main(ctx):
+            ctx.compute(ctx.node.spec.flops_per_core, efficiency=0.5)
+            assert ctx.clock == pytest.approx(2.0)
+            return True
+
+        run(main, n_ranks=1, procs_per_node=1, n_nodes=1)
+
+    def test_negative_elapse_rejected(self):
+        def main(ctx):
+            with pytest.raises(ValueError):
+                ctx.elapse(-1.0)
+            return True
+
+        run(main, n_ranks=1, procs_per_node=1, n_nodes=1)

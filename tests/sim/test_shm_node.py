@@ -1,0 +1,119 @@
+"""Tests for SHM segments, node memory accounting, and node failure."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Node, NodeSpec, OutOfMemoryError, ShmError
+from repro.util import GiB
+
+
+@pytest.fixture
+def node():
+    return Node(0, NodeSpec(cores=4, flops=1e11, mem_bytes=GiB))
+
+
+class TestNodeSpec:
+    def test_derived_quantities(self):
+        spec = NodeSpec(cores=24, flops=422.4e9, mem_bytes=64 * GiB)
+        assert spec.flops_per_core == pytest.approx(17.6e9)
+        assert spec.mem_per_core == 64 * GiB // 24
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"cores": 0}, {"flops": 0}, {"mem_bytes": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NodeSpec(**kwargs)
+
+
+class TestShm:
+    def test_create_and_attach(self, node):
+        seg = node.shm.create("x", (4, 4))
+        seg.array[:] = 7.0
+        again = node.shm.attach("x")
+        assert np.all(again.array == 7.0)
+
+    def test_create_duplicate_rejected(self, node):
+        node.shm.create("x", 4)
+        with pytest.raises(ShmError):
+            node.shm.create("x", 4)
+
+    def test_create_exist_ok_returns_same_content(self, node):
+        seg = node.shm.create("x", 8)
+        seg.array[:] = 3.0
+        seg2 = node.shm.create("x", 8, exist_ok=True)
+        assert np.all(seg2.array == 3.0)
+
+    def test_exist_ok_shape_mismatch_rejected(self, node):
+        node.shm.create("x", 8)
+        with pytest.raises(ShmError):
+            node.shm.create("x", 16, exist_ok=True)
+
+    def test_attach_missing(self, node):
+        with pytest.raises(ShmError):
+            node.shm.attach("ghost")
+
+    def test_unlink_releases_memory(self, node):
+        node.shm.create("x", 1024, np.uint8)
+        used = node.mem_used
+        node.shm.unlink("x")
+        assert node.mem_used == used - 1024
+        assert not node.shm.exists("x")
+
+    def test_unlink_missing_ok(self, node):
+        node.shm.unlink("ghost", missing_ok=True)
+        with pytest.raises(ShmError):
+            node.shm.unlink("ghost")
+
+    def test_names_and_len(self, node):
+        node.shm.create("b", 4)
+        node.shm.create("a", 4)
+        assert node.shm.names() == ["a", "b"]
+        assert len(node.shm) == 2
+
+    def test_total_bytes(self, node):
+        node.shm.create("x", 100, np.uint8)
+        node.shm.create("y", 28, np.uint8)
+        assert node.shm.total_bytes() == 128
+
+
+class TestNodeLifecycle:
+    def test_failure_destroys_shm(self, node):
+        node.shm.create("ckpt", 64)
+        node.fail(when=12.5)
+        assert not node.alive
+        assert node.failed_at == 12.5
+        assert len(node.shm) == 0
+        assert node.mem_used == 0
+
+    def test_fail_idempotent(self, node):
+        node.fail(1.0)
+        node.fail(2.0)
+        assert node.failed_at == 1.0
+
+    def test_repair(self, node):
+        node.fail()
+        node.repair()
+        assert node.alive and node.failed_at is None
+
+
+class TestMemoryAccounting:
+    def test_malloc_free(self, node):
+        node.malloc(100)
+        assert node.mem_used == 100
+        node.free(40)
+        assert node.mem_used == 60
+        assert node.mem_free == node.spec.mem_bytes - 60
+
+    def test_enforcement(self):
+        node = Node(0, NodeSpec(mem_bytes=1000), enforce_memory=True)
+        node.malloc(900)
+        with pytest.raises(OutOfMemoryError):
+            node.malloc(200)
+
+    def test_no_enforcement_by_default(self, node):
+        node.malloc(node.spec.mem_bytes * 2)  # allowed: accounting only
+
+    def test_free_floors_at_zero(self, node):
+        node.free(10**9)
+        assert node.mem_used == 0

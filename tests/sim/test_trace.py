@@ -1,0 +1,134 @@
+"""Tests for virtual-time event tracing."""
+
+import pytest
+
+from repro.sim import (
+    Cluster,
+    Job,
+    Trace,
+    phase_spans,
+    render_timeline,
+    span_stats,
+)
+
+
+def traced_run(main, n_ranks=4):
+    trace = Trace()
+    cluster = Cluster(n_ranks)
+    res = Job(cluster, main, n_ranks, procs_per_node=1, trace=trace).run()
+    assert res.completed, res.rank_errors
+    return trace
+
+
+class TestTrace:
+    def test_phases_recorded_with_clocks(self):
+        def main(ctx):
+            ctx.phase("a")
+            ctx.elapse(1.0)
+            ctx.phase("b")
+
+        trace = traced_run(main)
+        assert len(trace) == 8  # 2 phases x 4 ranks
+        for r in range(4):
+            events = trace.by_rank(r)
+            assert [e.label for e in events] == ["a", "b"]
+            assert events[1].clock - events[0].clock == pytest.approx(1.0)
+
+    def test_no_trace_by_default(self):
+        cluster = Cluster(2)
+        res = Job(
+            cluster, lambda ctx: ctx.phase("x"), 2, procs_per_node=1
+        ).run()
+        assert res.completed  # phase without a trace must not crash
+
+    def test_labels(self):
+        def main(ctx):
+            ctx.phase("zz")
+            ctx.phase("aa")
+
+        trace = traced_run(main, n_ranks=1)
+        assert trace.labels() == ["aa", "zz"]
+
+
+class TestSpans:
+    def _trace(self):
+        def main(ctx):
+            for i in range(3):
+                ctx.phase("work.begin")
+                ctx.elapse(0.5 + 0.25 * ctx.rank)
+                ctx.phase("work.done")
+
+        return traced_run(main, n_ranks=2)
+
+    def test_pairing(self):
+        spans = phase_spans(self._trace(), "work.begin", "work.done")
+        assert len(spans) == 6  # 3 spans x 2 ranks
+        for rank, start, duration in spans:
+            assert duration == pytest.approx(0.5 + 0.25 * rank)
+
+    def test_rank_filter(self):
+        spans = phase_spans(self._trace(), "work.begin", "work.done", rank=1)
+        assert len(spans) == 3
+        assert all(r == 1 for r, _, _ in spans)
+
+    def test_stats(self):
+        spans = phase_spans(self._trace(), "work.begin", "work.done")
+        stats = span_stats(spans)
+        assert stats["count"] == 6
+        assert stats["min"] == pytest.approx(0.5)
+        assert stats["max"] == pytest.approx(0.75)
+
+    def test_stats_empty(self):
+        assert span_stats([]) == {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+
+    def test_unmatched_begin_ignored(self):
+        def main(ctx):
+            ctx.phase("x.begin")  # never closed
+
+        trace = traced_run(main, n_ranks=1)
+        assert phase_spans(trace, "x.begin", "x.done") == []
+
+
+class TestTimeline:
+    def test_renders_rows_per_rank(self):
+        def main(ctx):
+            ctx.phase("alpha")
+            ctx.elapse(1.0)
+            ctx.phase("beta")
+
+        out = render_timeline(traced_run(main, n_ranks=3))
+        lines = out.splitlines()
+        assert lines[0].startswith("r0")
+        assert sum(1 for l in lines if l.startswith("r")) == 3
+        assert "a=alpha" in out and "b=beta" in out
+
+    def test_empty_trace(self):
+        assert render_timeline(Trace()) == "(empty trace)"
+
+
+class TestCheckpointTracing:
+    def test_live_checkpoint_durations_measured(self):
+        """A traced SKT-style run yields measurable ckpt.begin->done spans
+        in virtual time (how Fig. 10 style breakdowns are obtained live)."""
+        from repro.ckpt import CheckpointManager
+
+        def app(ctx):
+            mgr = CheckpointManager(ctx, ctx.world, group_size=4, method="self")
+            a = mgr.alloc("d", 8192)
+            mgr.commit()
+            mgr.try_restore()
+            for it in range(4):
+                a += 1.0
+                ctx.compute(1e9)
+                mgr.local["it"] = it
+                mgr.checkpoint()
+            return True
+
+        trace = Trace()
+        cluster = Cluster(4)
+        res = Job(cluster, app, 4, procs_per_node=1, trace=trace).run()
+        assert res.completed
+        spans = phase_spans(trace, "ckpt.begin", "ckpt.done")
+        stats = span_stats(spans)
+        assert stats["count"] == 16  # 4 checkpoints x 4 ranks
+        assert stats["min"] > 0

@@ -1,0 +1,44 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import TARGETS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig6", "table3", "ablations"):
+            assert name in out
+
+    @pytest.mark.parametrize(
+        "target", ["fig6", "fig8", "fig11", "fig13", "table1", "table2"]
+    )
+    def test_fast_targets(self, target, capsys):
+        assert main([target]) == 0
+        out = capsys.readouterr().out
+        assert "—" in out  # every renderer emits a titled table
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_targets_cover_every_table_and_figure(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "table3-live",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablations",
+            "endurance",
+            "report",
+        }
+        assert expected <= set(TARGETS)
