@@ -6,8 +6,11 @@ Usage::
     python -m repro fig6
     python -m repro table3
     python -m repro all          # everything (slow: live power-off checks)
+    python -m repro check --all  # sanitizer suite (lint, races, deadlock)
 
-Each target prints the same ASCII table the corresponding benchmark emits.
+Each target prints the same ASCII table the corresponding benchmark emits;
+``check`` delegates to the :mod:`repro.sancheck` suite and exits non-zero
+on any finding.
 """
 
 from __future__ import annotations
@@ -166,16 +169,23 @@ TARGETS: Dict[str, Callable[[], str]] = {
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "check":
+        from repro.sancheck.cli import check_main
+
+        return check_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
-            "Regenerate tables/figures of 'Self-Checkpoint' (PPoPP'17)."
+            "Regenerate tables/figures of 'Self-Checkpoint' (PPoPP'17); "
+            "'repro check' runs the sanitizer suite."
         ),
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["list", "all"],
-        help="which experiment to run",
+        choices=sorted(TARGETS) + ["list", "all", "check"],
+        help="which experiment to run ('check' = sanitizer suite)",
     )
     args = parser.parse_args(argv)
 

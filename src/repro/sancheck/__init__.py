@@ -1,0 +1,44 @@
+"""Simulator sanitizer suite (``repro check ...``).
+
+Three analyses guard the invariants the checkpoint protocols' correctness
+arguments assume (see ``docs/SANCHECK.md``):
+
+* :mod:`repro.sancheck.simlint` — static AST lint over the source tree
+  (virtual-time-only, runtime-owned threading, seeded RNG, copy-before-
+  mutate on MPI results);
+* :mod:`repro.sancheck.races` — a dynamic vector-clock race detector over
+  SHM segment accesses;
+* :mod:`repro.sancheck.deadlock` — a dynamic wait-for-graph deadlock
+  detector over blocked MPI calls, with stuck-tag diagnosis.
+
+The dynamic detectors are :class:`~repro.sim.observer.SimObserver`\\ s:
+attach one (or several) to a :class:`~repro.sim.runtime.Job` and read its
+``findings`` after the run.
+"""
+
+from repro.sancheck.deadlock import DeadlockDetector
+from repro.sancheck.findings import Finding, Report
+from repro.sancheck.races import RaceDetector, ShmAccess
+from repro.sancheck.simlint import (
+    ALL_RULES,
+    LintConfig,
+    default_lint_root,
+    lint_paths,
+    lint_source,
+)
+from repro.sancheck.vectorclock import VectorClock, merge_all
+
+__all__ = [
+    "Finding",
+    "Report",
+    "LintConfig",
+    "ALL_RULES",
+    "lint_source",
+    "lint_paths",
+    "default_lint_root",
+    "VectorClock",
+    "merge_all",
+    "RaceDetector",
+    "ShmAccess",
+    "DeadlockDetector",
+]

@@ -1,0 +1,90 @@
+"""Common finding/report types shared by all three sanitizer analyses.
+
+Every analysis — the static linter, the SHM race detector and the MPI
+deadlock detector — reduces to a list of :class:`Finding`; a
+:class:`Report` aggregates them, renders an ASCII summary and maps to a
+process exit code (the CLI contract: zero findings == exit 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util import render_table
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation discovered by an analysis.
+
+    ``tool`` names the analysis (``simlint``, ``race``, ``deadlock``);
+    ``rule`` the specific invariant (e.g. ``wallclock``, ``shm-race``,
+    ``deadlock-cycle``).  Static findings carry ``file``/``line``; dynamic
+    findings carry the offending world ``ranks`` and the virtual ``clock``
+    at detection time.  ``detail`` holds a multi-line elaboration (stuck-tag
+    diagnosis, timeline rendering) kept out of the one-line summary.
+    """
+
+    tool: str
+    rule: str
+    message: str
+    file: str = ""
+    line: int = 0
+    ranks: Tuple[int, ...] = ()
+    clock: float = 0.0
+    detail: str = ""
+
+    def location(self) -> str:
+        if self.file:
+            return f"{self.file}:{self.line}"
+        if self.ranks:
+            return f"ranks {','.join(map(str, self.ranks))} @ t={self.clock:.4g}s"
+        return "-"
+
+    def __str__(self) -> str:
+        base = f"[{self.tool}:{self.rule}] {self.location()}: {self.message}"
+        return base if not self.detail else base + "\n" + self.detail
+
+
+@dataclass
+class Report:
+    """Aggregated findings of one or more analyses."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: analyses that actually ran (so "0 findings" is meaningful)
+    analyses: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Sequence[Finding], analysis: Optional[str] = None) -> None:
+        self.findings.extend(findings)
+        if analysis is not None and analysis not in self.analyses:
+            self.analyses.append(analysis)
+
+    def by_tool(self, tool: str) -> List[Finding]:
+        return [f for f in self.findings if f.tool == tool]
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        """Human-readable summary: a table of findings plus any details."""
+        ran = ", ".join(self.analyses) or "(none)"
+        if self.ok:
+            return f"sancheck: 0 findings (analyses: {ran})"
+        rows = [
+            [f.tool, f.rule, f.location(), f.message] for f in self.findings
+        ]
+        table = render_table(
+            ["tool", "rule", "where", "finding"],
+            rows,
+            title=f"sancheck — {len(self.findings)} finding(s), analyses: {ran}",
+        )
+        details = [f.detail for f in self.findings if f.detail]
+        return table if not details else table + "\n\n" + "\n\n".join(details)

@@ -1,0 +1,139 @@
+"""Built-in sanitizer scenarios: seeded-bug fixtures and the clean run.
+
+Dynamic analyses need something to run.  This module provides three
+deterministic, fast scenarios used both by the test suite and by the
+``repro check races`` / ``repro check deadlock`` CLI commands, which treat
+them as a self-test pair: the planted bug **must** be detected and the
+clean run **must** come back with zero findings, or the detector itself is
+broken.
+
+* :func:`run_seeded_race` — two ranks co-resident on one node write the
+  same SHM segment with no ordering message between them;
+* :func:`run_seeded_deadlock` — a send/recv pair with mismatched tags
+  (sender uses tag 1, receiver waits on tag 99);
+* :func:`run_clean_selfckpt` — a small self-checkpoint application (the
+  paper's protocol) running to completion under any detectors handed in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sancheck.deadlock import DeadlockDetector
+from repro.sancheck.races import RaceDetector
+from repro.sim import Cluster, Job, JobResult, Trace
+
+
+def run_seeded_race(n_ranks: int = 2) -> Tuple[JobResult, RaceDetector]:
+    """Deliberately racy: all ranks on one node write one SHM segment with
+    no happens-before edge.  The detector must flag it."""
+
+    def app(ctx):
+        seg = ctx.shm_create("race.target", 8, exist_ok=True)
+        # BUG (on purpose): sibling ranks write concurrently; nothing
+        # orders these accesses
+        seg.write(float(ctx.rank))
+        ctx.elapse(1e-6)
+        return float(seg.read()[0])
+
+    cluster = Cluster(1)
+    detector = RaceDetector(n_ranks)
+    job = Job(cluster, app, n_ranks, ranklist=[0] * n_ranks)
+    detector.install(job)
+    result = job.run()
+    return result, detector
+
+
+def run_synchronized_shm(n_ranks: int = 2) -> Tuple[JobResult, RaceDetector]:
+    """The fixed version of :func:`run_seeded_race`: a message orders the
+    two writes, so the detector must stay silent."""
+
+    def app(ctx):
+        rank = ctx.world.rank
+        if rank == 0:
+            seg = ctx.shm_create("sync.target", 8)
+            seg.write(1.0)
+            ctx.world.send(None, dest=1, tag=7)  # hand the segment over
+        else:
+            ctx.world.recv(source=0, tag=7)  # happens-before edge
+            seg = ctx.shm_attach("sync.target")
+            seg.write(2.0)
+        return True
+
+    cluster = Cluster(1)
+    detector = RaceDetector(n_ranks)
+    job = Job(cluster, app, n_ranks, ranklist=[0] * n_ranks)
+    detector.install(job)
+    result = job.run()
+    return result, detector
+
+
+def run_seeded_deadlock(
+    timeout_s: float = 20.0,
+) -> Tuple[JobResult, DeadlockDetector]:
+    """Deliberately deadlocked: mismatched send/recv tags.  The detector
+    must report the cycle (with a stuck-tag diagnosis) and abort the job
+    long before the wall-clock safety net fires."""
+
+    def app(ctx):
+        comm = ctx.world
+        ctx.phase("exchange.begin")
+        if comm.rank == 0:
+            comm.send(b"payload", dest=1, tag=1)
+            comm.recv(source=1, tag=2)
+        else:
+            # BUG (on purpose): rank 0 sent tag=1, we wait on tag=99
+            comm.recv(source=0, tag=99)
+            comm.send(b"reply", dest=0, tag=2)
+        ctx.phase("exchange.done")
+        return True
+
+    cluster = Cluster(2)
+    detector = DeadlockDetector()
+    trace = Trace()
+    job = Job(
+        cluster, app, 2, procs_per_node=1, deadlock_timeout_s=timeout_s, trace=trace
+    )
+    detector.install(job)
+    result = job.run()
+    return result, detector
+
+
+def run_clean_selfckpt(
+    n_ranks: int = 4,
+    group_size: int = 4,
+    iters: int = 4,
+    ckpt_every: int = 2,
+    race: Optional[RaceDetector] = None,
+    deadlock: Optional[DeadlockDetector] = None,
+) -> Tuple[JobResult, RaceDetector, DeadlockDetector]:
+    """A correct self-checkpoint run (the paper's protocol, §3) under both
+    detectors; any finding here is a detector false positive — or a real
+    simulator regression, which is exactly what CI wants to catch."""
+    from repro.ckpt import CheckpointManager
+
+    def app(ctx):
+        mgr = CheckpointManager(
+            ctx, ctx.world, group_size=group_size, method="self"
+        )
+        a = mgr.alloc("data", 32)
+        mgr.commit()
+        report = mgr.try_restore()
+        start = report.local["it"] if report else 0
+        for it in range(start, iters):
+            a += ctx.world.rank + 1
+            ctx.compute(1e7)
+            if (it + 1) % ckpt_every == 0:
+                mgr.local["it"] = it + 1
+                mgr.checkpoint()
+        return True
+
+    cluster = Cluster(n_ranks)
+    race = race or RaceDetector(n_ranks)
+    deadlock = deadlock or DeadlockDetector()
+    trace = Trace()
+    job = Job(cluster, app, n_ranks, procs_per_node=1, trace=trace)
+    race.install(job)
+    deadlock.install(job)
+    result = job.run()
+    return result, race, deadlock

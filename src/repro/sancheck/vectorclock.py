@@ -1,0 +1,63 @@
+"""Vector clocks over world ranks — the happens-before lattice the race
+detector orders events with.
+
+Classic Fidge/Mattern clocks: each rank ``i`` owns component ``i``; local
+events tick it, a message receive merges the sender's snapshot, a
+collective merges every participant's entry snapshot (a collective is a
+full synchronization point in this simulator — clocks join to the slowest
+participant — so the merge is exact, not conservative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class VectorClock:
+    """A fixed-width vector clock; mutable, with value-semantics helpers."""
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, n_ranks: int):
+        self.ticks: List[int] = [0] * n_ranks
+
+    @classmethod
+    def of(cls, ticks: Sequence[int]) -> "VectorClock":
+        vc = cls(len(ticks))
+        vc.ticks = list(ticks)
+        return vc
+
+    def tick(self, rank: int) -> None:
+        self.ticks[rank] += 1
+
+    def merge(self, other: "VectorClock") -> None:
+        self.ticks = [max(a, b) for a, b in zip(self.ticks, other.ticks)]
+
+    def copy(self) -> "VectorClock":
+        return VectorClock.of(self.ticks)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Happens-before-or-equal (component-wise)."""
+        return all(a <= b for a, b in zip(self.ticks, other.ticks))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self.ticks == other.ticks
+
+    def __hash__(self) -> int:  # frozen snapshots are dict keys in tests
+        return hash(tuple(self.ticks))
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Neither ordered before the other — the race condition predicate."""
+        return not (self <= other) and not (other <= self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.ticks}"
+
+
+def merge_all(clocks: Sequence[VectorClock]) -> VectorClock:
+    if not clocks:
+        raise ValueError("nothing to merge")
+    out = clocks[0].copy()
+    for c in clocks[1:]:
+        out.merge(c)
+    return out

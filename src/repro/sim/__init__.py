@@ -27,6 +27,7 @@ from repro.sim.failures import (
     TimeTrigger,
 )
 from repro.sim.mpi import Communicator, ReduceOp
+from repro.sim.observer import BlockDesc, MultiObserver, SimObserver, install_observer
 from repro.sim.runtime import Job, JobResult, RankContext, RankExit
 from repro.sim.topology import Topology, fail_rack
 from repro.sim.trace import Trace, TraceEvent, phase_spans, render_timeline, span_stats
@@ -51,6 +52,10 @@ __all__ = [
     "MTBFFailureGenerator",
     "Communicator",
     "ReduceOp",
+    "SimObserver",
+    "MultiObserver",
+    "BlockDesc",
+    "install_observer",
     "Job",
     "JobResult",
     "RankContext",

@@ -35,6 +35,7 @@ import numpy as np
 from repro.sim._tls import current_ctx
 from repro.sim.errors import SimError
 from repro.sim.netmodel import NetworkModel
+from repro.sim.observer import BlockDesc
 
 #: Charged size for payloads whose size we cannot see (python scalars etc.).
 _SMALL_OBJ_BYTES = 64
@@ -49,7 +50,12 @@ def _payload_nbytes(obj: Any) -> int:
     if isinstance(obj, (list, tuple)):
         return sum(_payload_nbytes(x) for x in obj) or _SMALL_OBJ_BYTES
     if isinstance(obj, dict):
-        return sum(_payload_nbytes(v) for v in obj.values()) or _SMALL_OBJ_BYTES
+        # keys ride the wire too: metadata-heavy payloads (status dicts,
+        # epoch tables) would otherwise undercount their alpha-beta cost
+        total = sum(_payload_nbytes(k) + _payload_nbytes(v) for k, v in obj.items())
+        return total or _SMALL_OBJ_BYTES
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
     return _SMALL_OBJ_BYTES
 
 
@@ -97,6 +103,9 @@ class _Envelope:
     payload: Any
     nbytes: int
     arrival_time: float
+    #: opaque observer token (e.g. the sender's vector-clock snapshot);
+    #: handed back to the observer when the message is received
+    token: Any = None
 
 
 class Request:
@@ -135,9 +144,12 @@ class Request:
             ctx.clock += self._cost  # the deferred port time
             self._done = True
             return None
+        assert self._key is not None
         with self._comm._mail_cond:
             self._comm._wait(
-                self._comm._mail_cond, lambda: self._comm._mail.get(self._key)
+                self._comm._mail_cond,
+                lambda: self._comm._mail.get(self._key),
+                desc=self._comm._recv_desc(self._key),
             )
             env = self._comm._mail[self._key].pop(0)
             if not self._comm._mail[self._key]:
@@ -147,6 +159,7 @@ class Request:
         )
         self._done = True
         self._value = env.payload
+        self._comm._notify_recv(self._key, env)
         return self._value
 
 
@@ -207,21 +220,81 @@ class Communicator:
     def world_rank(self, rank: int) -> int:
         return self._members[rank]
 
-    # -- waiting with failure delivery -----------------------------------------
-    def _wait(self, cond: threading.Condition, predicate: Callable[[], bool]) -> None:
-        """Block on ``cond`` until ``predicate``; deliver aborts and watch
-        for wall-clock deadlocks.  Caller must hold ``cond``."""
+    # -- observer plumbing -----------------------------------------------------
+    @property
+    def _observer(self):
+        return self._job.observer
+
+    def _recv_desc(self, key: Tuple[int, int, int]) -> Optional[BlockDesc]:
+        """Wait descriptor for a receive keyed ``(me, src, tag)``."""
+        if self._job.observer is None:
+            return None
+        _, src, tag = key
+        return BlockDesc(
+            kind="recv",
+            comm=self.name,
+            peer=self._members[src],
+            tag=tag,
+        )
+
+    def _collective_desc(self, kind: str) -> Optional[BlockDesc]:
+        """``collective-join`` = waiting for the previous instance to drain
+        (always satisfiable); ``collective-drain`` = contributed, waiting
+        for the remaining members to arrive."""
+        if self._job.observer is None:
+            return None
+        return BlockDesc(kind=kind, comm=self.name, members=tuple(self._members))
+
+    def _notify_send(self, dest: int, tag: int, nbytes: int) -> Any:
+        """Report a send; returns the observer token to ride the envelope."""
+        obs = self._job.observer
+        if obs is None:
+            return None
         ctx = current_ctx()
+        return obs.on_send(ctx.rank, self._members[dest], tag, nbytes, ctx.clock)
+
+    def _notify_recv(self, key: Tuple[int, int, int], env: _Envelope) -> None:
+        obs = self._job.observer
+        if obs is None:
+            return
+        ctx = current_ctx()
+        _, src, tag = key
+        obs.on_recv(ctx.rank, self._members[src], tag, env.token, ctx.clock)
+
+    # -- waiting with failure delivery -----------------------------------------
+    def _wait(
+        self,
+        cond: threading.Condition,
+        predicate: Callable[[], bool],
+        desc: Optional[BlockDesc] = None,
+    ) -> None:
+        """Block on ``cond`` until ``predicate``; deliver aborts and watch
+        for wall-clock deadlocks.  Caller must hold ``cond``.
+
+        When an observer is installed and ``desc`` describes the wait, the
+        observer sees ``on_block`` the first time the predicate fails and a
+        matching ``on_unblock`` when the wait resolves (or raises).
+        """
+        ctx = current_ctx()
+        obs = self._job.observer
         deadline = _walltime.monotonic() + self._job.deadlock_timeout_s
-        while not predicate():
-            ctx.check()
-            cond.wait(timeout=0.05)
-            if _walltime.monotonic() > deadline:
-                raise SimError(
-                    f"rank {ctx.rank} stuck >"
-                    f"{self._job.deadlock_timeout_s}s in {self.name} "
-                    "communicator wait (likely mismatched communication)"
-                )
+        blocked = False
+        try:
+            while not predicate():
+                ctx.check()
+                if not blocked and obs is not None and desc is not None:
+                    blocked = True
+                    obs.on_block(ctx.rank, desc)
+                cond.wait(timeout=0.05)
+                if _walltime.monotonic() > deadline:
+                    raise SimError(
+                        f"rank {ctx.rank} stuck >"
+                        f"{self._job.deadlock_timeout_s}s in {self.name} "
+                        "communicator wait (likely mismatched communication)"
+                    )
+        finally:
+            if blocked:
+                obs.on_unblock(ctx.rank)
 
     def _p2p_scale(self, my_rank: int, peer_rank: int) -> float:
         """Bandwidth derating for a message between two communicator ranks:
@@ -255,7 +328,10 @@ class Communicator:
         nbytes = _payload_nbytes(obj)
         ctx.clock += self._p2p_time_to(self.rank, dest, nbytes)
         env = _Envelope(
-            payload=_copy_payload(obj), nbytes=nbytes, arrival_time=ctx.clock
+            payload=_copy_payload(obj),
+            nbytes=nbytes,
+            arrival_time=ctx.clock,
+            token=self._notify_send(dest, tag, nbytes),
         )
         key = (dest, self.rank, tag)
         with self._mail_cond:
@@ -268,11 +344,14 @@ class Communicator:
         ctx.check()
         key = (self.rank, source, tag)
         with self._mail_cond:
-            self._wait(self._mail_cond, lambda: self._mail.get(key))
+            self._wait(
+                self._mail_cond, lambda: self._mail.get(key), desc=self._recv_desc(key)
+            )
             env = self._mail[key].pop(0)
             if not self._mail[key]:
                 del self._mail[key]
         ctx.clock = max(ctx.clock + self._net.params.latency_s, env.arrival_time)
+        self._notify_recv(key, env)
         return env.payload
 
     def sendrecv(
@@ -299,6 +378,7 @@ class Communicator:
             payload=_copy_payload(obj),
             nbytes=nbytes,
             arrival_time=ctx.clock + self._net.p2p_time(nbytes),
+            token=self._notify_send(dest, tag, nbytes),
         )
         key = (dest, self.rank, tag)
         with self._mail_cond:
@@ -337,9 +417,16 @@ class Communicator:
         ctx.check()
         slot = self._slot
         me = self.rank
+        obs = self._job.observer
         with slot.cond:
-            self._wait(slot.cond, lambda: slot.phase == "gathering" and me not in slot.contrib)
+            self._wait(
+                slot.cond,
+                lambda: slot.phase == "gathering" and me not in slot.contrib,
+                desc=self._collective_desc("collective-join"),
+            )
             slot.contrib[me] = (contribution, ctx.clock)
+            if obs is not None:
+                obs.on_collective_enter(self.name, self.size, ctx.rank, ctx.clock)
             if len(slot.contrib) == slot.size:
                 data = {r: c for r, (c, _) in slot.contrib.items()}
                 t_start = max(t for _, t in slot.contrib.values())
@@ -348,9 +435,15 @@ class Communicator:
                 slot.phase = "draining"
                 slot.cond.notify_all()
             else:
-                self._wait(slot.cond, lambda: slot.phase == "draining")
+                self._wait(
+                    slot.cond,
+                    lambda: slot.phase == "draining",
+                    desc=self._collective_desc("collective-drain"),
+                )
             result = slot.results[me]  # type: ignore[index]
             ctx.clock = max(ctx.clock, slot.finish_clock)
+            if obs is not None:
+                obs.on_collective_exit(self.name, self.size, ctx.rank, ctx.clock)
             slot.taken += 1
             if slot.taken == slot.size:
                 slot.contrib = {}

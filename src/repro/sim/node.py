@@ -76,7 +76,9 @@ class Node:
         self._failed_at: float | None = None
         self._mem_used = 0
         self._mem_lock = threading.Lock()
-        self.shm = ShmStore(charge=self._charge, release=self._release)
+        self.shm = ShmStore(
+            charge=self._charge, release=self._release, node_id=node_id
+        )
 
     # -- liveness ------------------------------------------------------------
     @property

@@ -1,0 +1,131 @@
+"""Observer hook points for simulator instrumentation.
+
+The runtime, communicator and SHM store expose a small set of callbacks so
+that tooling (the :mod:`repro.sancheck` race and deadlock detectors, custom
+profilers) can watch a job run without monkeypatching.  A job carries at
+most one :class:`SimObserver`; :func:`install_observer` transparently fans
+out to several via :class:`MultiObserver`.
+
+Design rules observers must follow (the detectors in ``repro.sancheck``
+do):
+
+* callbacks run on **rank threads**, concurrently — observers synchronize
+  internally;
+* callbacks may be invoked while the caller holds a communicator condition
+  variable, so an observer must never block on simulator state from inside
+  a callback (never call into a communicator, never wait on a job);
+* job-level actions (``job.abort()``) must be issued only *after* the
+  observer has released its own internal lock, or lock-order inversions
+  with the communicator wakeup path become possible.
+
+All rank arguments are **world** ranks; ``clock`` arguments are virtual
+seconds on the calling rank's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BlockDesc:
+    """What a rank is blocked on while inside a communicator wait.
+
+    ``kind`` is ``"recv"`` (pt2pt receive, ``peer``/``tag`` set) or
+    ``"collective"`` (``members`` lists the world ranks that must arrive).
+    """
+
+    kind: str
+    comm: str
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    members: Tuple[int, ...] = field(default_factory=tuple)
+
+
+class SimObserver:
+    """No-op base class; subclass and override what you need.
+
+    Returning a value from :meth:`on_send` attaches it to the in-flight
+    message; the matching :meth:`on_recv` receives it back as ``token`` —
+    which is how the race detector ships vector-clock snapshots along
+    happens-before edges without the simulator knowing about clocks.
+    """
+
+    # -- point to point -------------------------------------------------------
+    def on_send(self, src: int, dst: int, tag: int, nbytes: int, clock: float) -> Any:
+        return None
+
+    def on_recv(self, dst: int, src: int, tag: int, token: Any, clock: float) -> None:
+        pass
+
+    # -- collectives ----------------------------------------------------------
+    def on_collective_enter(
+        self, comm: str, size: int, rank: int, clock: float
+    ) -> None:
+        pass
+
+    def on_collective_exit(
+        self, comm: str, size: int, rank: int, clock: float
+    ) -> None:
+        pass
+
+    # -- blocking -------------------------------------------------------------
+    def on_block(self, rank: int, desc: BlockDesc) -> None:
+        pass
+
+    def on_unblock(self, rank: int) -> None:
+        pass
+
+    # -- shared memory --------------------------------------------------------
+    def on_shm(self, node_id: int, name: str, kind: str) -> None:
+        """SHM segment access: ``kind`` is one of ``create``, ``attach``,
+        ``read``, ``write``, ``unlink``.  The accessing rank (if any) is the
+        thread's bound :class:`~repro.sim.runtime.RankContext`."""
+        pass
+
+
+class MultiObserver(SimObserver):
+    """Fan a job's single observer slot out to several observers."""
+
+    def __init__(self, observers: List[SimObserver]):
+        self.observers = list(observers)
+
+    def on_send(self, src: int, dst: int, tag: int, nbytes: int, clock: float) -> Any:
+        return tuple(o.on_send(src, dst, tag, nbytes, clock) for o in self.observers)
+
+    def on_recv(self, dst: int, src: int, tag: int, token: Any, clock: float) -> None:
+        tokens = token if isinstance(token, tuple) else (token,) * len(self.observers)
+        for o, t in zip(self.observers, tokens):
+            o.on_recv(dst, src, tag, t, clock)
+
+    def on_collective_enter(self, comm: str, size: int, rank: int, clock: float) -> None:
+        for o in self.observers:
+            o.on_collective_enter(comm, size, rank, clock)
+
+    def on_collective_exit(self, comm: str, size: int, rank: int, clock: float) -> None:
+        for o in self.observers:
+            o.on_collective_exit(comm, size, rank, clock)
+
+    def on_block(self, rank: int, desc: BlockDesc) -> None:
+        for o in self.observers:
+            o.on_block(rank, desc)
+
+    def on_unblock(self, rank: int) -> None:
+        for o in self.observers:
+            o.on_unblock(rank)
+
+    def on_shm(self, node_id: int, name: str, kind: str) -> None:
+        for o in self.observers:
+            o.on_shm(node_id, name, kind)
+
+
+def install_observer(job: Any, observer: SimObserver) -> None:
+    """Attach ``observer`` to ``job``, composing with any already installed."""
+    current = getattr(job, "observer", None)
+    if current is None:
+        job.observer = observer
+    elif isinstance(current, MultiObserver):
+        current.observers.append(observer)
+    else:
+        job.observer = MultiObserver([current, observer])

@@ -34,6 +34,7 @@ from repro.sim.errors import JobAbortedError, NodeFailedError, SimError
 from repro.sim.failures import FailurePlan
 from repro.sim.mpi import Communicator
 from repro.sim.node import Node
+from repro.sim.observer import SimObserver
 from repro.sim.shm import ShmSegment
 from repro.sim.topology import Topology
 from repro.sim.trace import Trace
@@ -175,6 +176,10 @@ class Job:
         Triggers consulted on clock advances and phase announcements.
     deadlock_timeout_s:
         Wall-clock bound on any single blocking wait (test safety net).
+    observer:
+        Optional :class:`~repro.sim.observer.SimObserver` receiving
+        communication and blocking events from every rank — the hook the
+        :mod:`repro.sancheck` race/deadlock detectors install through.
     """
 
     def __init__(
@@ -190,6 +195,7 @@ class Job:
         deadlock_timeout_s: float = 60.0,
         trace: Optional["Trace"] = None,
         topology: Optional["Topology"] = None,
+        observer: Optional["SimObserver"] = None,
         name: str = "job",
     ):
         if n_ranks < 1:
@@ -202,6 +208,9 @@ class Job:
         self.failure_plan = failure_plan or FailurePlan()
         #: optional event trace shared across this job's ranks
         self.trace = trace
+        #: optional instrumentation observer; must be set before the world
+        #: communicator is built so every operation is visible to it
+        self.observer = observer
         #: optional rack topology: point-to-point messages crossing racks
         #: pay the inter-rack bandwidth penalty
         self.topology = topology

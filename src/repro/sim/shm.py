@@ -7,30 +7,61 @@ unlinked.  Checkpoint buffers and the self-checkpoint workspace live here.
 
 Each segment carries a small metadata dict alongside its numpy buffer; the
 checkpoint protocols use it for epoch/phase flags that must survive restart.
+
+Instrumentation: a store may carry an
+:class:`~repro.sim.observer.SimObserver`; every ``create``/``attach``/
+``unlink`` and every access through :meth:`ShmSegment.read` /
+:meth:`ShmSegment.write` is reported to it.  The race detector in
+:mod:`repro.sancheck.races` derives its access history from exactly these
+events.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.sim.errors import ShmError
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.observer import SimObserver
+
 
 @dataclass
 class ShmSegment:
-    """A named, node-resident array that outlives its creating process."""
+    """A named, node-resident array that outlives its creating process.
+
+    ``array`` may be used directly (the checkpoint protocols keep raw
+    references for speed); code that wants its accesses visible to the
+    sanitizer tooling goes through :meth:`read` / :meth:`write` instead.
+    """
 
     name: str
     array: np.ndarray
     meta: Dict[str, Any] = field(default_factory=dict)
+    _store: Optional["ShmStore"] = field(default=None, repr=False, compare=False)
 
     @property
     def nbytes(self) -> int:
         return int(self.array.nbytes)
+
+    def _notify(self, kind: str) -> None:
+        if self._store is not None:
+            self._store._notify(self.name, kind)
+
+    def read(self) -> np.ndarray:
+        """Instrumented read: report the access, return the live array."""
+        self._notify("read")
+        return self.array
+
+    def write(self, value: Any, where: Union[slice, Tuple[Any, ...]] = slice(None)) -> None:
+        """Instrumented write: report the access, then store ``value`` at
+        ``where`` (the whole segment by default)."""
+        self._notify("write")
+        self.array[where] = value
 
 
 class ShmStore:
@@ -45,17 +76,28 @@ class ShmStore:
         self,
         charge: Callable[[int], None],
         release: Callable[[int], None],
+        *,
+        node_id: int = -1,
     ):
         self._segments: Dict[str, ShmSegment] = {}
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # simlint: allow[threading] -- node-internal store lock
         self._charge = charge
         self._release = release
+        self.node_id = node_id
+        #: optional :class:`~repro.sim.observer.SimObserver` receiving
+        #: ``on_shm`` events for every segment operation on this node
+        self.observer: Optional["SimObserver"] = None
+
+    def _notify(self, name: str, kind: str) -> None:
+        obs = self.observer
+        if obs is not None:
+            obs.on_shm(self.node_id, name, kind)
 
     def create(
         self,
         name: str,
-        shape: Tuple[int, ...] | int,
-        dtype: np.dtype | str = np.float64,
+        shape: Union[Tuple[int, ...], int],
+        dtype: Union[np.dtype, str] = np.float64,
         *,
         exist_ok: bool = False,
     ) -> ShmSegment:
@@ -77,12 +119,16 @@ class ShmStore:
                         f"{existing.array.shape}/{existing.array.dtype}, "
                         f"requested {want_shape}/{np.dtype(dtype)}"
                     )
-                return existing
-            arr = np.zeros(shape, dtype=dtype)
-            self._charge(arr.nbytes)
-            seg = ShmSegment(name=name, array=arr)
-            self._segments[name] = seg
-            return seg
+                seg = existing
+                kind = "attach"
+            else:
+                arr = np.zeros(shape, dtype=dtype)
+                self._charge(arr.nbytes)
+                seg = ShmSegment(name=name, array=arr, _store=self)
+                self._segments[name] = seg
+                kind = "create"
+        self._notify(name, kind)
+        return seg
 
     def attach(self, name: str) -> ShmSegment:
         """Return an existing segment; raises :class:`ShmError` if absent."""
@@ -90,7 +136,8 @@ class ShmStore:
             seg = self._segments.get(name)
             if seg is None:
                 raise ShmError(f"no SHM segment named {name!r}")
-            return seg
+        self._notify(name, "attach")
+        return seg
 
     def exists(self, name: str) -> bool:
         with self._lock:
@@ -105,6 +152,7 @@ class ShmStore:
                     return
                 raise ShmError(f"no SHM segment named {name!r}")
             self._release(seg.nbytes)
+        self._notify(name, "unlink")
 
     def clear(self) -> None:
         """Destroy everything (node power-off)."""
@@ -113,7 +161,7 @@ class ShmStore:
             self._segments.clear()
             self._release(total)
 
-    def names(self) -> list[str]:
+    def names(self) -> List[str]:
         with self._lock:
             return sorted(self._segments)
 
@@ -121,9 +169,26 @@ class ShmStore:
         with self._lock:
             return sum(seg.nbytes for seg in self._segments.values())
 
-    def __iter__(self) -> Iterator[ShmSegment]:
+    def snapshot(self) -> List[ShmSegment]:
+        """A point-in-time view of all segments.
+
+        Returns fresh :class:`ShmSegment` objects sharing the live arrays
+        but carrying **copies** of the ``meta`` dicts, so callers iterating
+        the result see a consistent set of segments and metadata even while
+        other ranks keep creating/unlinking/mutating.  (The arrays stay
+        live views — copying checkpoint-sized buffers here would be
+        wrong for a diagnostics path.)  This is the only sanctioned way to
+        enumerate segments concurrently; the race-detector instrumentation
+        uses it for its segment inventory.
+        """
         with self._lock:
-            return iter(list(self._segments.values()))
+            return [
+                ShmSegment(name=s.name, array=s.array, meta=dict(s.meta))
+                for s in self._segments.values()
+            ]
+
+    def __iter__(self) -> Iterator[ShmSegment]:
+        return iter(self.snapshot())
 
     def __len__(self) -> int:
         with self._lock:

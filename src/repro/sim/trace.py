@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -81,21 +81,29 @@ def span_stats(spans: List[Tuple[int, float, float]]) -> Dict[str, float]:
     }
 
 
-def render_timeline(trace: Trace, width: int = 72) -> str:
+def render_timeline(
+    trace: Trace, width: int = 72, focus: Optional[Sequence[int]] = None
+) -> str:
     """A compact ASCII timeline: one row per rank, one column per event,
-    showing phase initials positioned by virtual time."""
+    showing phase initials positioned by virtual time.
+
+    ``focus`` marks the given ranks with ``*`` — the sanitizer tooling uses
+    it to point at the ranks involved in a deadlock cycle or data race.
+    """
     events = trace.events
     if not events:
         return "(empty trace)"
     t_max = max(e.clock for e in events) or 1.0
     ranks = sorted({e.rank for e in events})
+    marked = set(focus or ())
     lines = []
     for r in ranks:
         row = [" "] * width
         for e in trace.by_rank(r):
             col = min(width - 1, int(e.clock / t_max * (width - 1)))
             row[col] = e.label[0] if e.label else "?"
-        lines.append(f"r{r:<3}|{''.join(row)}|")
+        star = "*" if r in marked else " "
+        lines.append(f"r{r:<3}{star}|{''.join(row)}|")
     legend = ", ".join(f"{lbl[0]}={lbl}" for lbl in trace.labels()[:8])
     lines.append(f"     0 {'-' * (width - 10)} {t_max:.3g}s")
     lines.append(f"     {legend}")

@@ -1,6 +1,5 @@
 """Tests for the buddy (pairwise replication) baseline of refs [37, 38]."""
 
-import numpy as np
 import pytest
 
 from repro.ckpt import CheckpointManager

@@ -1,15 +1,13 @@
 """Tests for the BLCR-like disk checkpoint and the SCR-like multi-level tier."""
 
-import numpy as np
 import pytest
 
 from repro.ckpt import (
     HDD,
     SSD,
     BlockDevice,
-    CheckpointManager,
 )
-from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger
+from repro.sim import Cluster, Job
 from tests.ckpt.conftest import assert_final_state, make_app
 
 N = 8

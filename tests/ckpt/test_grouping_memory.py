@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ckpt import (
-    GroupLayout,
     available_fraction_double,
     available_fraction_self,
     available_fraction_single,

@@ -1,10 +1,9 @@
 """Tests for the incremental (dirty-page) checkpoint baseline."""
 
-import numpy as np
 import pytest
 
-from repro.ckpt import CheckpointManager, IncrementalCheckpoint
-from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger, UnrecoverableError
+from repro.ckpt import CheckpointManager
+from repro.sim import Cluster, Job, UnrecoverableError
 from tests.ckpt.conftest import assert_final_state, make_app
 
 N = 8

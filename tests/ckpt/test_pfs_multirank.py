@@ -1,6 +1,5 @@
 """PFS device contention and multi-rank-per-node recovery scenarios."""
 
-import numpy as np
 import pytest
 
 from repro.ckpt import HDD, PFS, CheckpointManager

@@ -7,10 +7,8 @@ state (fully fault-tolerant protocols) or report the precise inconsistency
 (single checkpoint mid-update).
 """
 
-import numpy as np
 import pytest
 
-from repro.ckpt import CheckpointManager
 from repro.sim import Cluster, Job, UnrecoverableError
 from tests.ckpt.conftest import assert_final_state, make_app
 

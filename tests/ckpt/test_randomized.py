@@ -4,7 +4,6 @@ exact state, and the single-checkpoint must either recover or report the
 inconsistency honestly — never return wrong data silently."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger, UnrecoverableError

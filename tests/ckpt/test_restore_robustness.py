@@ -7,7 +7,6 @@ another during the resulting recovery, and require the third incarnation to
 still land on the exact state.
 """
 
-import numpy as np
 import pytest
 
 from repro.sim import Cluster, FailurePlan, Job, PhaseTrigger

@@ -1,14 +1,12 @@
 """Tests for the double-parity (RAID-6) extension: stripe layout, encoder
 collective, and the two-failure-tolerant SelfCheckpointRS protocol."""
 
-import itertools
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ckpt import (
-    CheckpointManager,
     GroupEncoderRS,
     available_fraction_self,
     available_fraction_self_rs,

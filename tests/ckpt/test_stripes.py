@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ckpt import stripes
 from repro.ckpt.stripes import (
     build_checksums,
     checksum_size,

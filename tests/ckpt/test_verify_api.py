@@ -1,6 +1,5 @@
 """Tests for the group-consistency audit API (SelfCheckpoint.verify)."""
 
-import numpy as np
 
 from repro.ckpt import CheckpointManager
 from repro.sim import Cluster, Job

@@ -57,7 +57,7 @@ class TestABFT:
             # plain HPL, but corrupt local data partway: simulate by
             # corrupting before the solve on one rank
             from repro.hpl import matgen
-            from repro.hpl.core import hpl_solve, verify, HPLResult
+            from repro.hpl.core import hpl_solve, verify
             from repro.hpl.grid import BlockCyclicMap, ProcessGrid
 
             grid = ProcessGrid(ctx.world, CFG.p, CFG.q)

@@ -1,13 +1,11 @@
 """Tests for the efficiency model, machine data, TOP500 data, and cost model."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.models import (
-    LOCAL_CLUSTER,
     TIANHE_1A,
     TIANHE_2,
     TOP10_NOV2016,

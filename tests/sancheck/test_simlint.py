@@ -1,0 +1,186 @@
+"""Tests for the static invariant linter (repro.sancheck.simlint)."""
+
+import textwrap
+
+from repro.sancheck import default_lint_root, lint_paths, lint_source
+from repro.sancheck.simlint import module_name_for
+from pathlib import Path
+
+
+def lint(source, module="somepkg.mod"):
+    return lint_source(textwrap.dedent(source), filename="mod.py", module=module)
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestWallclock:
+    def test_time_sleep_flagged(self):
+        fs = lint("import time\ntime.sleep(1)\n")
+        assert rules(fs) == ["wallclock"]
+        assert "time.sleep" in fs[0].message
+        assert fs[0].line == 2
+
+    def test_aliased_import_resolved(self):
+        fs = lint("import time as _walltime\n_walltime.monotonic()\n")
+        assert rules(fs) == ["wallclock"]
+
+    def test_from_import_resolved(self):
+        fs = lint("from time import sleep\nsleep(0.1)\n")
+        assert rules(fs) == ["wallclock"]
+
+    def test_datetime_now_flagged(self):
+        fs = lint("from datetime import datetime\ndatetime.now()\n")
+        assert rules(fs) == ["wallclock"]
+
+    def test_allowlisted_module_clean(self):
+        fs = lint("import time\ntime.monotonic()\n", module="repro.sim.mpi")
+        assert fs == []
+
+    def test_pragma_suppresses(self):
+        fs = lint("import time\ntime.sleep(1)  # simlint: allow[wallclock]\n")
+        assert fs == []
+
+    def test_pragma_is_rule_specific(self):
+        fs = lint("import time\ntime.sleep(1)  # simlint: allow[threading]\n")
+        assert rules(fs) == ["wallclock"]
+
+
+class TestThreading:
+    def test_lock_flagged(self):
+        fs = lint("import threading\nlock = threading.Lock()\n")
+        assert rules(fs) == ["threading"]
+
+    def test_thread_flagged(self):
+        fs = lint(
+            "from threading import Thread\nt = Thread(target=print)\n"
+        )
+        assert rules(fs) == ["threading"]
+
+    def test_sim_package_allowed(self):
+        fs = lint(
+            "import threading\nlock = threading.Lock()\n",
+            module="repro.sim.newmodule",
+        )
+        assert fs == []
+
+
+class TestRng:
+    def test_stdlib_random_flagged(self):
+        fs = lint("import random\nrandom.randint(0, 5)\n")
+        assert rules(fs) == ["rng"]
+
+    def test_numpy_legacy_flagged(self):
+        fs = lint("import numpy as np\nnp.random.rand(3)\n")
+        assert rules(fs) == ["rng"]
+
+    def test_unseeded_default_rng_flagged(self):
+        fs = lint("import numpy as np\nnp.random.default_rng()\n")
+        assert rules(fs) == ["rng"]
+
+    def test_seeded_default_rng_ok(self):
+        assert lint("import numpy as np\nnp.random.default_rng(42)\n") == []
+
+    def test_rng_module_allowed(self):
+        fs = lint(
+            "import numpy as np\nnp.random.seed(1)\n", module="repro.util.rng"
+        )
+        assert fs == []
+
+
+class TestRecvMutate:
+    def test_augassign_after_recv_flagged(self):
+        fs = lint(
+            """
+            def f(comm):
+                x = comm.recv(source=0)
+                x += 1
+                return x
+            """
+        )
+        assert rules(fs) == ["recv-mutate"]
+
+    def test_subscript_store_flagged(self):
+        fs = lint(
+            """
+            def f(comm):
+                x = comm.allreduce(None)
+                x[0] = 3.0
+            """
+        )
+        assert rules(fs) == ["recv-mutate"]
+
+    def test_mutator_method_flagged(self):
+        fs = lint(
+            """
+            def f(comm):
+                x = comm.bcast(None)
+                x.fill(0)
+            """
+        )
+        assert rules(fs) == ["recv-mutate"]
+
+    def test_copied_result_ok(self):
+        fs = lint(
+            """
+            import numpy as np
+
+            def f(comm):
+                x = np.array(comm.recv(source=0), copy=True)
+                x += 1
+                y = comm.recv(source=1).copy()
+                y[0] = 2
+            """
+        )
+        assert fs == []
+
+    def test_rebinding_clears_taint(self):
+        fs = lint(
+            """
+            def f(comm):
+                x = comm.recv(source=0)
+                x = x * 2
+                x += 1
+            """
+        )
+        assert fs == []
+
+    def test_taint_is_function_scoped(self):
+        fs = lint(
+            """
+            def f(comm):
+                x = comm.recv(source=0)
+
+            def g(x):
+                x += 1
+            """
+        )
+        assert fs == []
+
+
+class TestTree:
+    def test_repo_source_tree_is_clean(self):
+        """The shipped package must satisfy its own invariants."""
+        assert lint_paths([default_lint_root()]) == []
+
+    def test_lint_flags_bad_file_on_disk(self, tmp_path):
+        bad = tmp_path / "offender.py"
+        bad.write_text("import time\ntime.sleep(3)\n")
+        fs = lint_paths([bad])
+        assert rules(fs) == ["wallclock"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        fs = lint_paths([bad])
+        assert rules(fs) == ["syntax"]
+
+
+class TestModuleNames:
+    def test_package_paths(self):
+        assert (
+            module_name_for(Path("src/repro/sim/mpi.py")) == "repro.sim.mpi"
+        )
+        assert module_name_for(Path("src/repro/sim/__init__.py")) == "repro.sim"
+        assert module_name_for(Path("/tmp/loose.py")) == "loose"

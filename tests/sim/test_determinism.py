@@ -8,7 +8,6 @@ pure function of the program — repeated runs must agree to the bit.
 """
 
 import numpy as np
-import pytest
 
 from repro.hpl import HPLConfig, SKTConfig, hpl_main, skt_hpl_main
 from repro.sim import Cluster, Job

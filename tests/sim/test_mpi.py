@@ -292,3 +292,38 @@ class TestVirtualTime:
             return True
 
         run(main, n_ranks=1, procs_per_node=1, n_nodes=1)
+
+
+class TestPayloadNbytes:
+    """Wire-size accounting, incl. the dict-key undercount fix."""
+
+    def test_array_uses_nbytes(self):
+        from repro.sim.mpi import _payload_nbytes
+
+        assert _payload_nbytes(np.zeros(16, dtype=np.float64)) == 128
+
+    def test_dict_charges_keys_and_values(self):
+        from repro.sim.mpi import _payload_nbytes
+
+        arr = np.zeros(8, dtype=np.float64)  # 64 bytes
+        d = {"epoch": arr}
+        # 5 bytes of key + 64 bytes of value — the key must be charged
+        assert _payload_nbytes(d) == len("epoch") + arr.nbytes
+
+    def test_metadata_heavy_dict_not_undercounted(self):
+        from repro.sim.mpi import _payload_nbytes
+
+        meta = {f"flag.{i:04d}": 0 for i in range(100)}
+        only_values = 100 * 64  # _SMALL_OBJ_BYTES per int value
+        assert _payload_nbytes(meta) > only_values
+
+    def test_string_payload_charged_by_length(self):
+        from repro.sim.mpi import _payload_nbytes
+
+        assert _payload_nbytes("x" * 256) == 256
+
+    def test_nested_containers(self):
+        from repro.sim.mpi import _payload_nbytes
+
+        inner = np.zeros(4, dtype=np.float64)  # 32 bytes
+        assert _payload_nbytes([{"a": inner}, {"b": inner}]) == 2 * (1 + 32)

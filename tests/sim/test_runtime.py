@@ -1,6 +1,5 @@
 """Tests for job execution, abort semantics, and failure delivery."""
 
-import numpy as np
 import pytest
 
 from repro.sim import (

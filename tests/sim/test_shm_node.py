@@ -117,3 +117,78 @@ class TestMemoryAccounting:
     def test_free_floors_at_zero(self, node):
         node.free(10**9)
         assert node.mem_used == 0
+
+
+class TestSnapshot:
+    """ShmStore.snapshot(): the sanctioned concurrent-enumeration API."""
+
+    def test_snapshot_lists_segments(self, node):
+        node.shm.create("a", 4)
+        node.shm.create("b", 8)
+        segs = {s.name: s for s in node.shm.snapshot()}
+        assert set(segs) == {"a", "b"}
+
+    def test_iter_goes_through_snapshot(self, node):
+        node.shm.create("a", 4)
+        names = [s.name for s in node.shm]
+        assert names == ["a"]
+
+    def test_meta_is_copied(self, node):
+        seg = node.shm.create("a", 4)
+        seg.meta["epoch"] = 1
+        snap = node.shm.snapshot()[0]
+        seg.meta["epoch"] = 2  # later mutation by a rank...
+        assert snap.meta["epoch"] == 1  # ...must not leak into the snapshot
+
+    def test_array_stays_live_view(self, node):
+        seg = node.shm.create("a", 4)
+        snap = node.shm.snapshot()[0]
+        seg.array[:] = 7.0
+        assert np.all(snap.array == 7.0)
+
+    def test_snapshot_safe_during_unlink(self, node):
+        node.shm.create("a", 4)
+        snap = node.shm.snapshot()
+        node.shm.unlink("a")
+        assert snap[0].name == "a"  # snapshot unaffected by later unlink
+
+
+class TestSegmentHooks:
+    """ShmSegment.read()/write() route through the store observer."""
+
+    def test_read_write_notify_observer(self, node):
+        events = []
+
+        class Spy:
+            def on_shm(self, node_id, name, kind):
+                events.append((node_id, name, kind))
+
+        node.shm.observer = Spy()
+        seg = node.shm.create("a", 4)
+        seg.write(3.0)
+        got = seg.read()
+        assert np.all(got == 3.0)
+        node.shm.unlink("a")
+        assert events == [
+            (0, "a", "create"),
+            (0, "a", "write"),
+            (0, "a", "read"),
+            (0, "a", "unlink"),
+        ]
+
+    def test_exist_ok_reattach_reports_attach(self, node):
+        events = []
+
+        class Spy:
+            def on_shm(self, node_id, name, kind):
+                events.append(kind)
+
+        node.shm.observer = Spy()
+        node.shm.create("a", 4)
+        node.shm.create("a", 4, exist_ok=True)
+        assert events == ["create", "attach"]
+
+    def test_write_supports_slices(self, node):
+        seg = node.shm.create("a", 4)
+        seg.write(5.0, where=slice(0, 2))
+        assert list(seg.array) == [5.0, 5.0, 0.0, 0.0]

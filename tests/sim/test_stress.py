@@ -2,9 +2,8 @@
 the thread scheduler, rendezvous bookkeeping, and clock invariants."""
 
 import numpy as np
-import pytest
 
-from repro.sim import Cluster, Job, ReduceOp
+from repro.sim import Cluster, Job
 
 
 class TestScale:

@@ -24,6 +24,31 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_check_all_smoke(self, capsys):
+        """`repro check --all` runs every analysis and certifies clean."""
+        assert main(["check", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+        for analysis in ("simlint", "race", "deadlock"):
+            assert analysis in out
+
+    def test_check_lint_clean_tree(self, capsys):
+        assert main(["check", "lint"]) == 0
+        assert "simlint" in capsys.readouterr().out
+
+    def test_check_lint_nonzero_on_bad_file(self, tmp_path, capsys):
+        """Acceptance: a file calling time.sleep outside the allowlist must
+        make `repro check lint` exit non-zero."""
+        bad = tmp_path / "offender.py"
+        bad.write_text("import time\ntime.sleep(1)\n")
+        assert main(["check", "lint", "--path", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "wallclock" in out and "time.sleep" in out
+
+    def test_check_rejects_unknown_analysis(self):
+        with pytest.raises(SystemExit):
+            main(["check", "frobnicate"])
+
     def test_targets_cover_every_table_and_figure(self):
         expected = {
             "table1",
