@@ -1,0 +1,44 @@
+"""Obs harness — instrumented SKT-HPL with one injected failure.
+
+Unlike the table/figure benches this one exercises the observability
+stack itself: the full span/metrics pipeline rides a live failure-and-
+recover run, and the machine-readable ``BENCH_obs.json`` perf record is
+written next to the working directory (override with ``REPRO_BENCH_OUT``)
+so the perf trajectory can diff simulated cost run-to-run.
+"""
+
+import json
+import os
+
+from repro.obs.bench import BENCH_SCHEMA_VERSION, bench_json
+from repro.obs.report import render_report
+from repro.obs.scenario import run_scenario
+
+
+def bench_obs_skt(benchmark, show):
+    run = benchmark.pedantic(
+        run_scenario,
+        args=("skt-hpl",),
+        kwargs=dict(fail_at="panel:3", n=32, seed=42),
+        iterations=1,
+        rounds=1,
+    )
+    show(render_report(run.spans, run.registry))
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_obs.json")
+    text = bench_json(run)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+    rec = json.loads(text)
+    assert rec["schema"] == BENCH_SCHEMA_VERSION
+    assert rec["completed"] and rec["n_restarts"] == 1
+    assert rec["failures_injected"] == 1
+    # delivered traffic balances exactly even through the kill + restart
+    assert rec["traffic"]["bytes_sent"] == rec["traffic"]["bytes_recv"]
+    assert rec["traffic"]["bytes_stranded"] >= 0
+    # the recovery critical path starts at the restore that rebuilt state
+    assert rec["recovery_path"] and rec["recovery_path"][0]["name"] == "restore"
+    assert rec["n_interrupted_spans"] > 0

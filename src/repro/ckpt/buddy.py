@@ -95,26 +95,29 @@ class BuddyCheckpoint(Checkpointer):
         e = self._epoch() + 1
         slot = e % 2
 
-        ctx.phase("ckpt.begin")
-        self.ckpt_world_entry_barrier()
-        self._ctrl[_C[slot]] = e  # slot dirty
-        ctx.phase("ckpt.update")
+        with ctx.span("ckpt", epoch=e, method=self.METHOD, slot=slot):
+            ctx.phase("ckpt.begin")
+            self.ckpt_world_entry_barrier()
+            self._ctrl[_C[slot]] = e  # slot dirty
+            ctx.phase("ckpt.update")
 
-        flat = self._pack_flat()
-        # exchange full copies with the buddy (the replication "encode")
-        theirs = self.group.sendrecv(
-            flat, dest=self.buddy, source=self.buddy, sendtag=e, recvtag=e
-        )
-        self._mirror[slot][:] = theirs
-        ctx.phase("ckpt.update.mid")
+            # exchange full copies with the buddy (the replication "encode")
+            with ctx.span("ckpt.exchange", buddy=self.buddy, nbytes=int(self._padded)):
+                flat = self._pack_flat()
+                theirs = self.group.sendrecv(
+                    flat, dest=self.buddy, source=self.buddy, sendtag=e, recvtag=e
+                )
+                self._mirror[slot][:] = theirs
+                ctx.phase("ckpt.update.mid")
 
-        self.ctx.world.barrier()
-        self._mine[slot][:] = flat
-        flush_s = self._charge_copy(2 * flat.nbytes)
-        self._ctrl[_B[slot]] = e
-        ctx.phase("ckpt.flush")
-        self.ctx.world.barrier()
-        ctx.phase("ckpt.done")
+            with ctx.span("ckpt.commit", nbytes=int(flat.nbytes)):
+                self.ctx.world.barrier()
+                self._mine[slot][:] = flat
+                flush_s = self._charge_copy(2 * flat.nbytes)
+                self._ctrl[_B[slot]] = e
+                ctx.phase("ckpt.flush")
+                self.ctx.world.barrier()
+                ctx.phase("ckpt.done")
 
         self.n_checkpoints += 1
         # "encode" time here is the pairwise exchange, already charged by
@@ -162,41 +165,44 @@ class BuddyCheckpoint(Checkpointer):
 
         ctx = self.ctx
         me = self.group.rank
-        ctx.phase("restore.begin")
-        # normalize flags: the interrupted slot's stale dirty marks would
-        # otherwise make ranks disagree on the next epoch/slot (the
-        # replacement starts with zeroed flags); wipe anything that is not
-        # the restored slot's clean epoch
-        other = 1 - slot
-        if (
-            self._ctrl[_C[other]] != self._ctrl[_B[other]]
-            or int(self._ctrl[_C[other]]) >= epoch
-        ):
-            self._ctrl[_C[other]] = 0
-            self._ctrl[_B[other]] = 0
-        if missing:
-            lost = missing[0]
-            if me == lost:
-                # my copy is on my buddy: it sends both my data (its mirror)
-                # and its own data (so my mirror of IT is rebuilt too)
-                my_data, buddy_data = self.group.recv(self.buddy, tag=999)
-                self._mine[slot][:] = my_data
-                self._mirror[slot][:] = buddy_data
-                self._ctrl[_C[slot]] = epoch
-                self._ctrl[_B[slot]] = epoch
-            else:
-                self.group.send(
-                    (
-                        np.array(self._mirror[slot], copy=True),
-                        np.array(self._mine[slot], copy=True),
-                    ),
-                    dest=lost,
-                    tag=999,
-                )
-        self.local = self.layout.unpack_into(self._mine[slot], self._arrays)
-        self._charge_copy(self._mine[slot].nbytes)
-        self.ctx.world.barrier()
-        ctx.phase("restore.done")
+        with ctx.span("restore", epoch=epoch, source="checkpoint", missing=len(missing)):
+            ctx.phase("restore.begin")
+            # normalize flags: the interrupted slot's stale dirty marks would
+            # otherwise make ranks disagree on the next epoch/slot (the
+            # replacement starts with zeroed flags); wipe anything that is not
+            # the restored slot's clean epoch
+            other = 1 - slot
+            if (
+                self._ctrl[_C[other]] != self._ctrl[_B[other]]
+                or int(self._ctrl[_C[other]]) >= epoch
+            ):
+                self._ctrl[_C[other]] = 0
+                self._ctrl[_B[other]] = 0
+            with ctx.span("restore.rebuild"):
+                if missing:
+                    lost = missing[0]
+                    if me == lost:
+                        # my copy is on my buddy: it sends both my data (its mirror)
+                        # and its own data (so my mirror of IT is rebuilt too)
+                        my_data, buddy_data = self.group.recv(self.buddy, tag=999)
+                        self._mine[slot][:] = my_data
+                        self._mirror[slot][:] = buddy_data
+                        self._ctrl[_C[slot]] = epoch
+                        self._ctrl[_B[slot]] = epoch
+                    else:
+                        self.group.send(
+                            (
+                                np.array(self._mirror[slot], copy=True),
+                                np.array(self._mine[slot], copy=True),
+                            ),
+                            dest=lost,
+                            tag=999,
+                        )
+            with ctx.span("restore.commit"):
+                self.local = self.layout.unpack_into(self._mine[slot], self._arrays)
+                self._charge_copy(self._mine[slot].nbytes)
+                self.ctx.world.barrier()
+                ctx.phase("restore.done")
 
         self.n_restores += 1
         return RestoreReport(

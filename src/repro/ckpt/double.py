@@ -65,23 +65,26 @@ class DoubleCheckpoint(Checkpointer):
         e = self._epoch() + 1
         slot = e % 2  # overwrite the older slot
 
-        ctx.phase("ckpt.begin")
-        self.ckpt_world_entry_barrier()
-        self._ctrl[_C[slot]] = e  # slot is dirty from here
-        ctx.phase("ckpt.update")
+        with ctx.span("ckpt", epoch=e, method=self.METHOD, slot=slot):
+            ctx.phase("ckpt.begin")
+            self.ckpt_world_entry_barrier()
+            self._ctrl[_C[slot]] = e  # slot is dirty from here
+            ctx.phase("ckpt.update")
 
-        flat = self._pack_flat()
-        enc = self.encoder.encode(flat)
-        self._c[slot][:] = enc.checksum
-        ctx.phase("ckpt.update.mid")
+            with ctx.span("ckpt.encode", nbytes=int(self._padded)):
+                flat = self._pack_flat()
+                enc = self.encoder.encode(flat)
+                self._c[slot][:] = enc.checksum
+                ctx.phase("ckpt.update.mid")
 
-        self.ctx.world.barrier()
-        self._b[slot][:] = flat
-        flush_s = self._charge_copy(flat.nbytes)
-        self._ctrl[_B[slot]] = e
-        ctx.phase("ckpt.flush")
-        self.ctx.world.barrier()
-        ctx.phase("ckpt.done")
+            with ctx.span("ckpt.commit", nbytes=int(flat.nbytes)):
+                self.ctx.world.barrier()
+                self._b[slot][:] = flat
+                flush_s = self._charge_copy(flat.nbytes)
+                self._ctrl[_B[slot]] = e
+                ctx.phase("ckpt.flush")
+                self.ctx.world.barrier()
+                ctx.phase("ckpt.done")
 
         self.n_checkpoints += 1
         self.total_encode_seconds += enc.seconds
@@ -152,36 +155,39 @@ class DoubleCheckpoint(Checkpointer):
 
         ctx = self.ctx
         me = self.group.rank
-        ctx.phase("restore.begin")
-        # normalize flags: the interrupted slot's stale dirty marks would
-        # otherwise make ranks disagree on the next epoch/slot (the
-        # replacement starts with zeroed flags); wipe anything that is not
-        # the restored slot's clean epoch
-        other = 1 - slot
-        if (
-            self._ctrl[_C[other]] != self._ctrl[_B[other]]
-            or int(self._ctrl[_C[other]]) >= epoch
-        ):
-            self._ctrl[_C[other]] = 0
-            self._ctrl[_B[other]] = 0
-        if missing:
-            lost = missing[0]
-            if me == lost:
-                rebuilt = self.encoder.recover(None, None, lost)
-                assert rebuilt is not None
-                self._b[slot][:], self._c[slot][:] = rebuilt
-                self._ctrl[_C[slot]] = epoch
-                self._ctrl[_B[slot]] = epoch
-            else:
-                self.encoder.recover(
-                    np.array(self._b[slot], copy=True),
-                    np.array(self._c[slot], copy=True),
-                    lost,
-                )
-        self.local = self.layout.unpack_into(self._b[slot], self._arrays)
-        self._charge_copy(self._b[slot].nbytes)
-        self.ctx.world.barrier()
-        ctx.phase("restore.done")
+        with ctx.span("restore", epoch=epoch, source="checkpoint", missing=len(missing)):
+            ctx.phase("restore.begin")
+            # normalize flags: the interrupted slot's stale dirty marks would
+            # otherwise make ranks disagree on the next epoch/slot (the
+            # replacement starts with zeroed flags); wipe anything that is not
+            # the restored slot's clean epoch
+            other = 1 - slot
+            if (
+                self._ctrl[_C[other]] != self._ctrl[_B[other]]
+                or int(self._ctrl[_C[other]]) >= epoch
+            ):
+                self._ctrl[_C[other]] = 0
+                self._ctrl[_B[other]] = 0
+            with ctx.span("restore.rebuild"):
+                if missing:
+                    lost = missing[0]
+                    if me == lost:
+                        rebuilt = self.encoder.recover(None, None, lost)
+                        assert rebuilt is not None
+                        self._b[slot][:], self._c[slot][:] = rebuilt
+                        self._ctrl[_C[slot]] = epoch
+                        self._ctrl[_B[slot]] = epoch
+                    else:
+                        self.encoder.recover(
+                            np.array(self._b[slot], copy=True),
+                            np.array(self._c[slot], copy=True),
+                            lost,
+                        )
+            with ctx.span("restore.commit"):
+                self.local = self.layout.unpack_into(self._b[slot], self._arrays)
+                self._charge_copy(self._b[slot].nbytes)
+                self.ctx.world.barrier()
+                ctx.phase("restore.done")
 
         self.n_restores += 1
         return RestoreReport(

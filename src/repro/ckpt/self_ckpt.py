@@ -66,6 +66,11 @@ class SelfCheckpoint(Checkpointer):
     #: stripes; the Reed-Solomon subclass raises it to 2)
     MAX_LOSSES = 1
 
+    def _span_attrs(self) -> dict:
+        """Extra attributes stamped on this protocol's ``ckpt``/``restore``
+        root spans (subclasses add their codec)."""
+        return {"method": self.METHOD, "group": self.group.size}
+
     # -- encode/recover hooks (overridden by the double-parity subclass) ----
     def _do_encode(self, flat: np.ndarray):
         """Encode the group's buffers; returns (checksum bytes, seconds)."""
@@ -114,38 +119,43 @@ class SelfCheckpoint(Checkpointer):
         ctx = self.ctx
         e = int(self._ctrl[_F]) + 1
 
-        ctx.phase("ckpt.begin")
-        # step 1: copy A2 into its SHM shadow B2
-        self._b2[:] = self.layout.pack_a2(self.local)
-        ctx.phase("ckpt.copy_a2")
+        with ctx.span("ckpt", epoch=e, **self._span_attrs()):
+            ctx.phase("ckpt.begin")
+            # step 1: copy A2 into its SHM shadow B2
+            with ctx.span("ckpt.copy_a2", nbytes=int(self._b2.nbytes)):
+                self._b2[:] = self.layout.pack_a2(self.local)
+                ctx.phase("ckpt.copy_a2")
 
-        # step 2: encode the live workspace (A1 ‖ B2) into D
-        flat = self._pack_flat()
-        checksum, encode_s = self._do_encode(flat)
-        self._d[:] = checksum
-        ctx.phase("ckpt.encode")
+            # step 2: encode the live workspace (A1 ‖ B2) into D
+            with ctx.span("ckpt.encode", nbytes=int(self._padded)):
+                flat = self._pack_flat()
+                checksum, encode_s = self._do_encode(flat)
+                self._d[:] = checksum
+                ctx.phase("ckpt.encode")
 
-        # flush license: a *world* barrier, so that "any rank flushing"
-        # implies every group in the system holds a complete D — the
-        # recovery decision is then globally consistent (all groups roll to
-        # the same application iteration).  The barrier adds only latency
-        # terms; the paper's claim that encode cost depends on the group
-        # size alone still holds.
-        self.ctx.world.barrier()
-        self._ctrl[_F] = e
-        ctx.phase("ckpt.flush_license")
+            # flush license: a *world* barrier, so that "any rank flushing"
+            # implies every group in the system holds a complete D — the
+            # recovery decision is then globally consistent (all groups roll to
+            # the same application iteration).  The barrier adds only latency
+            # terms; the paper's claim that encode cost depends on the group
+            # size alone still holds.
+            self.ctx.world.barrier()
+            self._ctrl[_F] = e
+            ctx.phase("ckpt.flush_license")
 
-        # step 3: flush workspace into the committed checkpoint
-        self._b[:] = flat
-        self._c[:] = self._d
-        flush_s = self._charge_copy(flat.nbytes + self._d.nbytes)
-        self._ctrl[_B] = e
-        ctx.phase("ckpt.flush")
+            # step 3: flush workspace into the committed checkpoint, then
+            # take the resume license — together the commit point
+            with ctx.span("ckpt.commit", nbytes=int(flat.nbytes + self._d.nbytes)):
+                self._b[:] = flat
+                self._c[:] = self._d
+                flush_s = self._charge_copy(flat.nbytes + self._d.nbytes)
+                self._ctrl[_B] = e
+                ctx.phase("ckpt.flush")
 
-        # resume license: world-wide, for the same reason
-        self.ctx.world.barrier()
-        self._ctrl[_R] = e
-        ctx.phase("ckpt.done")
+                # resume license: world-wide, for the same reason
+                self.ctx.world.barrier()
+                self._ctrl[_R] = e
+                ctx.phase("ckpt.done")
 
         self.n_checkpoints += 1
         self.total_encode_seconds += encode_s
@@ -209,37 +219,42 @@ class SelfCheckpoint(Checkpointer):
         A1/B2 plus the new checksum D are globally consistent."""
         ctx = self.ctx
         me = self.group.rank
-        ctx.phase("restore.begin")
+        with ctx.span(
+            "restore", epoch=epoch, source="workspace", missing=len(missing), **self._span_attrs()
+        ):
+            ctx.phase("restore.begin")
 
-        if missing:
-            if me in missing:
-                rebuilt = self._do_recover(None, None, missing)
-                assert rebuilt is not None
-                flat, checksum = rebuilt
-                self.local = self.layout.unpack_into(flat, self._arrays)
-                self._b2[:] = flat[
-                    self.layout.raw_size - self._b2.nbytes : self.layout.raw_size
-                ]
-                self._d[:] = checksum
-            else:
-                flat = self._flat_from_workspace()
-                self._do_recover(flat, np.array(self._d, copy=True), missing)
-                self.local = self.layout.unpack_a2(self._b2)
-        else:
-            flat = self._flat_from_workspace()
-            self.local = self.layout.unpack_a2(self._b2)
-        ctx.phase("restore.reconstruct")
+            with ctx.span("restore.rebuild"):
+                if missing:
+                    if me in missing:
+                        rebuilt = self._do_recover(None, None, missing)
+                        assert rebuilt is not None
+                        flat, checksum = rebuilt
+                        self.local = self.layout.unpack_into(flat, self._arrays)
+                        self._b2[:] = flat[
+                            self.layout.raw_size - self._b2.nbytes : self.layout.raw_size
+                        ]
+                        self._d[:] = checksum
+                    else:
+                        flat = self._flat_from_workspace()
+                        self._do_recover(flat, np.array(self._d, copy=True), missing)
+                        self.local = self.layout.unpack_a2(self._b2)
+                else:
+                    flat = self._flat_from_workspace()
+                    self.local = self.layout.unpack_a2(self._b2)
+                ctx.phase("restore.reconstruct")
 
-        # complete the interrupted flush so the steady state holds again
-        flat = self._flat_from_workspace() if missing and me in missing else flat
-        self._b[:] = flat
-        self._c[:] = self._d
-        self._charge_copy(flat.nbytes + self._d.nbytes)
-        self._ctrl[_F] = epoch
-        self._ctrl[_B] = epoch
-        self.ctx.world.barrier()
-        self._ctrl[_R] = epoch
-        ctx.phase("restore.done")
+            # complete the interrupted flush so the steady state holds again
+            with ctx.span("restore.commit"):
+                flat = self._flat_from_workspace() if missing and me in missing else flat
+                self._b[:] = flat
+                self._c[:] = self._d
+                self._charge_copy(flat.nbytes + self._d.nbytes)
+                self._ctrl[_F] = epoch
+                self._ctrl[_B] = epoch
+                self.ctx.world.barrier()
+                self._ctrl[_R] = epoch
+                ctx.phase("restore.done")
 
         self.n_restores += 1
         return RestoreReport(
@@ -254,33 +269,38 @@ class SelfCheckpoint(Checkpointer):
         checkpoint (B, C) is globally consistent."""
         ctx = self.ctx
         me = self.group.rank
-        ctx.phase("restore.begin")
+        with ctx.span(
+            "restore", epoch=epoch, source="checkpoint", missing=len(missing), **self._span_attrs()
+        ):
+            ctx.phase("restore.begin")
 
-        if missing:
-            if me in missing:
-                rebuilt = self._do_recover(None, None, missing)
-                assert rebuilt is not None
-                b_new, c_new = rebuilt
-                self._b[:] = b_new
-                self._c[:] = c_new
-            else:
-                self._do_recover(
-                    np.array(self._b, copy=True), np.array(self._c, copy=True), missing
-                )
-        ctx.phase("restore.reconstruct")
+            with ctx.span("restore.rebuild"):
+                if missing:
+                    if me in missing:
+                        rebuilt = self._do_recover(None, None, missing)
+                        assert rebuilt is not None
+                        b_new, c_new = rebuilt
+                        self._b[:] = b_new
+                        self._c[:] = c_new
+                    else:
+                        self._do_recover(
+                            np.array(self._b, copy=True), np.array(self._c, copy=True), missing
+                        )
+                ctx.phase("restore.reconstruct")
 
-        # roll the workspace back to the checkpoint
-        self.local = self.layout.unpack_into(self._b, self._arrays)
-        self._b2[:] = self._b[
-            self.layout.raw_size - self._b2.nbytes : self.layout.raw_size
-        ]
-        self._d[:] = self._c
-        self._charge_copy(self._b.nbytes)
-        self._ctrl[_F] = epoch
-        self._ctrl[_B] = epoch
-        self.ctx.world.barrier()
-        self._ctrl[_R] = epoch
-        ctx.phase("restore.done")
+            # roll the workspace back to the checkpoint
+            with ctx.span("restore.commit"):
+                self.local = self.layout.unpack_into(self._b, self._arrays)
+                self._b2[:] = self._b[
+                    self.layout.raw_size - self._b2.nbytes : self.layout.raw_size
+                ]
+                self._d[:] = self._c
+                self._charge_copy(self._b.nbytes)
+                self._ctrl[_F] = epoch
+                self._ctrl[_B] = epoch
+                self.ctx.world.barrier()
+                self._ctrl[_R] = epoch
+                ctx.phase("restore.done")
 
         self.n_restores += 1
         return RestoreReport(

@@ -34,6 +34,12 @@ class SelfCheckpointRS(SelfCheckpoint):
             raise ValueError("self-rs needs groups of >= 4 members")
         self.encoder = GroupEncoderRS(self.group)
 
+    def _span_attrs(self) -> dict:
+        attrs = super()._span_attrs()
+        attrs["codec"] = "rs"
+        attrs["max_losses"] = self.MAX_LOSSES
+        return attrs
+
     # -- hooks ------------------------------------------------------------------
     def _do_encode(self, flat: np.ndarray):
         enc = self.encoder.encode(flat)

@@ -7,6 +7,7 @@ Usage::
     python -m repro table3
     python -m repro all          # everything (slow: live power-off checks)
     python -m repro check --all  # sanitizer suite (lint, races, deadlock)
+    python -m repro obs --scenario skt-hpl --fail-at panel:3  # profile run
 
 Each target prints the same ASCII table the corresponding benchmark emits;
 ``check`` delegates to the :mod:`repro.sancheck` suite and exits non-zero
@@ -174,6 +175,10 @@ def main(argv=None) -> int:
         from repro.sancheck.cli import check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,8 +189,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["list", "all", "check"],
-        help="which experiment to run ('check' = sanitizer suite)",
+        choices=sorted(TARGETS) + ["list", "all", "check", "obs"],
+        help="which experiment to run ('check' = sanitizer suite, "
+        "'obs' = instrumented profile run)",
     )
     args = parser.parse_args(argv)
 

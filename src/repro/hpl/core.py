@@ -140,81 +140,86 @@ def hpl_solve(
         pr = k % grid.P
         pc = k % grid.Q
         root_rank = grid.rank_of(pr, pc)
-        t0 = ctx.clock
+        # announce the panel so failure plans can aim at "the k-th panel"
+        # (the ``--fail-at panel:k`` CLI spelling) and timelines show it
+        ctx.phase("hpl.panel")
+        with ctx.span("hpl.panel", k=k, nb=nbk):
+            t0 = ctx.clock
 
-        # ---- 1. panel assembly + factorization on process column pc ----
-        panel_piv: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        if mycol == pc:
-            lr = rowmap.local_start(myrow, k0)
-            lc0 = colmap.local_index(k0)
-            contrib = (my_grows[lr:], a_loc[lr:, lc0 : lc0 + nbk].copy())
-            parts = grid.col_comm.gather(contrib, root=pr)
+            # ---- 1. panel assembly + factorization on process column pc ----
+            panel_piv: Optional[Tuple[np.ndarray, np.ndarray]] = None
+            if mycol == pc:
+                lr = rowmap.local_start(myrow, k0)
+                lc0 = colmap.local_index(k0)
+                contrib = (my_grows[lr:], a_loc[lr:, lc0 : lc0 + nbk].copy())
+                parts = grid.col_comm.gather(contrib, root=pr)
+                if myrow == pr:
+                    m_panel = n - k0
+                    panel = np.empty((m_panel, nbk))
+                    for g_rows, data in parts:
+                        panel[g_rows - k0, :] = data
+                    piv = _factor_panel(ctx, panel, k0)
+                    panel_piv = (panel, piv)
+
+            # ---- 2. broadcast factored panel + pivots to everyone ----
+            panel, piv = comm.bcast(panel_piv, root=root_rank)
+            timers.panel += ctx.clock - t0
+            t0 = ctx.clock
+
+            # ---- 3. apply row swaps to trailing columns and rhs ----
+            lc_trail = colmap.local_start(mycol, k0 + nbk)
+            _apply_row_swaps(
+                ctx, grid, rowmap, a_loc, b_loc, piv, k0, lc_trail, tag_base=k
+            )
+
+            # panel-column writeback for the owning process column
+            if mycol == pc:
+                lr = rowmap.local_start(myrow, k0)
+                lc0 = colmap.local_index(k0)
+                a_loc[lr:, lc0 : lc0 + nbk] = panel[my_grows[lr:] - k0, :]
+            timers.swap += ctx.clock - t0
+            t0 = ctx.clock
+
+            # ---- 4. U12 = L11^-1 A12 on process row pr; broadcast down columns ----
+            l11 = panel[:nbk, :nbk]
+            u12_y: Optional[Tuple[np.ndarray, np.ndarray]] = None
             if myrow == pr:
-                m_panel = n - k0
-                panel = np.empty((m_panel, nbk))
-                for g_rows, data in parts:
-                    panel[g_rows - k0, :] = data
-                piv = _factor_panel(ctx, panel, k0)
-                panel_piv = (panel, piv)
+                lr0 = rowmap.local_index(k0)
+                a12 = a_loc[lr0 : lr0 + nbk, lc_trail:]
+                u12 = sla.solve_triangular(
+                    l11, a12, lower=True, unit_diagonal=True
+                )
+                yk = sla.solve_triangular(
+                    l11, b_loc[lr0 : lr0 + nbk], lower=True, unit_diagonal=True
+                )
+                a_loc[lr0 : lr0 + nbk, lc_trail:] = u12
+                b_loc[lr0 : lr0 + nbk] = yk
+                ctx.compute(
+                    float(nbk) * nbk * (a12.shape[1] + 1), efficiency=PANEL_EFFICIENCY
+                )
+                u12_y = (u12, yk)
+            u12, yk = grid.col_comm.bcast(u12_y, root=pr)
 
-        # ---- 2. broadcast factored panel + pivots to everyone ----
-        panel, piv = comm.bcast(panel_piv, root=root_rank)
-        timers.panel += ctx.clock - t0
-        t0 = ctx.clock
-
-        # ---- 3. apply row swaps to trailing columns and rhs ----
-        lc_trail = colmap.local_start(mycol, k0 + nbk)
-        _apply_row_swaps(
-            ctx, grid, rowmap, a_loc, b_loc, piv, k0, lc_trail, tag_base=k
-        )
-
-        # panel-column writeback for the owning process column
-        if mycol == pc:
-            lr = rowmap.local_start(myrow, k0)
-            lc0 = colmap.local_index(k0)
-            a_loc[lr:, lc0 : lc0 + nbk] = panel[my_grows[lr:] - k0, :]
-        timers.swap += ctx.clock - t0
-        t0 = ctx.clock
-
-        # ---- 4. U12 = L11^-1 A12 on process row pr; broadcast down columns ----
-        l11 = panel[:nbk, :nbk]
-        u12_y: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        if myrow == pr:
-            lr0 = rowmap.local_index(k0)
-            a12 = a_loc[lr0 : lr0 + nbk, lc_trail:]
-            u12 = sla.solve_triangular(
-                l11, a12, lower=True, unit_diagonal=True
-            )
-            yk = sla.solve_triangular(
-                l11, b_loc[lr0 : lr0 + nbk], lower=True, unit_diagonal=True
-            )
-            a_loc[lr0 : lr0 + nbk, lc_trail:] = u12
-            b_loc[lr0 : lr0 + nbk] = yk
+            # ---- 5. trailing update: A22 -= L21 @ U12, b22 -= L21 @ yk ----
+            lr_trail = rowmap.local_start(myrow, k0 + nbk)
+            l21 = panel[my_grows[lr_trail:] - k0, :]
+            if l21.size and u12.size:
+                a_loc[lr_trail:, lc_trail:] -= l21 @ u12
+            if l21.size:
+                b_loc[lr_trail:] -= l21 @ yk
             ctx.compute(
-                float(nbk) * nbk * (a12.shape[1] + 1), efficiency=PANEL_EFFICIENCY
+                2.0 * l21.shape[0] * nbk * (u12.shape[1] + 1),
+                efficiency=GEMM_EFFICIENCY,
             )
-            u12_y = (u12, yk)
-        u12, yk = grid.col_comm.bcast(u12_y, root=pr)
+            timers.update += ctx.clock - t0
 
-        # ---- 5. trailing update: A22 -= L21 @ U12, b22 -= L21 @ yk ----
-        lr_trail = rowmap.local_start(myrow, k0 + nbk)
-        l21 = panel[my_grows[lr_trail:] - k0, :]
-        if l21.size and u12.size:
-            a_loc[lr_trail:, lc_trail:] -= l21 @ u12
-        if l21.size:
-            b_loc[lr_trail:] -= l21 @ yk
-        ctx.compute(
-            2.0 * l21.shape[0] * nbk * (u12.shape[1] + 1),
-            efficiency=GEMM_EFFICIENCY,
-        )
-        timers.update += ctx.clock - t0
-
-        if on_panel_end is not None:
-            on_panel_end(k)
+            if on_panel_end is not None:
+                on_panel_end(k)
 
     # ---- back substitution ----
     t0 = ctx.clock
-    x = _back_substitute(ctx, cfg, grid, rowmap, colmap, a_loc, b_loc)
+    with ctx.span("hpl.backsub"):
+        x = _back_substitute(ctx, cfg, grid, rowmap, colmap, a_loc, b_loc)
     timers.backsub += ctx.clock - t0
     return x, timers
 
@@ -321,27 +326,28 @@ def verify(
 
         ||r||_inf / (eps * (||A||_inf ||x||_inf + ||b||_inf) * n) < 16
     """
-    a0 = matgen.generate_local_matrix(cfg, rowmap, colmap, grid.myrow, grid.mycol)
-    b0 = matgen.generate_local_rhs(cfg, rowmap, grid.myrow)
-    my_gcols = colmap.globals_of(grid.mycol)
+    with ctx.span("hpl.verify", n=cfg.n):
+        a0 = matgen.generate_local_matrix(cfg, rowmap, colmap, grid.myrow, grid.mycol)
+        b0 = matgen.generate_local_rhs(cfg, rowmap, grid.myrow)
+        my_gcols = colmap.globals_of(grid.mycol)
 
-    # r = b - A x, assembled across process rows
-    partial = a0 @ x[my_gcols]
-    ctx.compute(2.0 * a0.shape[0] * a0.shape[1], efficiency=GEMM_EFFICIENCY)
-    row_sum = grid.row_comm.allreduce(partial)
-    r_loc = b0 - row_sum
-    r_inf = float(grid.comm.allreduce_obj(float(np.max(np.abs(r_loc), initial=0.0)), max))
+        # r = b - A x, assembled across process rows
+        partial = a0 @ x[my_gcols]
+        ctx.compute(2.0 * a0.shape[0] * a0.shape[1], efficiency=GEMM_EFFICIENCY)
+        row_sum = grid.row_comm.allreduce(partial)
+        r_loc = b0 - row_sum
+        r_inf = float(grid.comm.allreduce_obj(float(np.max(np.abs(r_loc), initial=0.0)), max))
 
-    # ||A||_inf: max over global rows of the row sums of |A|
-    a_rows = grid.row_comm.allreduce(np.abs(a0).sum(axis=1))
-    a_inf = float(grid.comm.allreduce_obj(float(np.max(a_rows, initial=0.0)), max))
-    b_inf = float(grid.comm.allreduce_obj(float(np.max(np.abs(b0), initial=0.0)), max))
-    x_inf = float(np.max(np.abs(x)))
+        # ||A||_inf: max over global rows of the row sums of |A|
+        a_rows = grid.row_comm.allreduce(np.abs(a0).sum(axis=1))
+        a_inf = float(grid.comm.allreduce_obj(float(np.max(a_rows, initial=0.0)), max))
+        b_inf = float(grid.comm.allreduce_obj(float(np.max(np.abs(b0), initial=0.0)), max))
+        x_inf = float(np.max(np.abs(x)))
 
-    eps = float(np.finfo(np.float64).eps)
-    denom = eps * (a_inf * x_inf + b_inf) * cfg.n
-    residual = r_inf / denom if denom > 0 else float("inf")
-    return residual, residual < RESIDUAL_THRESHOLD
+        eps = float(np.finfo(np.float64).eps)
+        denom = eps * (a_inf * x_inf + b_inf) * cfg.n
+        residual = r_inf / denom if denom > 0 else float("inf")
+        return residual, residual < RESIDUAL_THRESHOLD
 
 
 def hpl_main(ctx: RankContext, cfg: HPLConfig) -> HPLResult:
@@ -354,9 +360,10 @@ def hpl_main(ctx: RankContext, cfg: HPLConfig) -> HPLResult:
     rowmap = BlockCyclicMap(cfg.n, cfg.nb, cfg.p)
     colmap = BlockCyclicMap(cfg.n, cfg.nb, cfg.q)
 
-    a_loc = matgen.generate_local_matrix(cfg, rowmap, colmap, grid.myrow, grid.mycol)
-    b_loc = matgen.generate_local_rhs(cfg, rowmap, grid.myrow)
-    ctx.malloc(a_loc.nbytes + b_loc.nbytes)
+    with ctx.span("hpl.generate", n=cfg.n):
+        a_loc = matgen.generate_local_matrix(cfg, rowmap, colmap, grid.myrow, grid.mycol)
+        b_loc = matgen.generate_local_rhs(cfg, rowmap, grid.myrow)
+        ctx.malloc(a_loc.nbytes + b_loc.nbytes)
 
     t_start = ctx.clock
     x, timers = hpl_solve(ctx, cfg, grid, rowmap, colmap, a_loc, b_loc)

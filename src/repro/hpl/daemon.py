@@ -15,13 +15,17 @@ the ranks' virtual clocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sim.cluster import Cluster
 from repro.sim.errors import SimError, UnrecoverableError
 from repro.sim.failures import FailurePlan
 from repro.sim.runtime import Job, JobResult
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import SpanTracer
+    from repro.sim.observer import SimObserver
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,8 @@ class JobDaemon:
         policy: RestartPolicy = RestartPolicy(),
         deadlock_timeout_s: float = 60.0,
         trace: Optional["Trace"] = None,
+        observer: Optional["SimObserver"] = None,
+        tracer: Optional["SpanTracer"] = None,
         name: str = "daemon",
     ):
         self.cluster = cluster
@@ -105,6 +111,13 @@ class JobDaemon:
         self.failure_plan = failure_plan or FailurePlan()
         #: optional trace shared across incarnations (phase timelines)
         self.trace = trace
+        #: optional observer shared across incarnations — installed on every
+        #: job so metrics accumulate over the whole supervised run
+        self.observer = observer
+        #: optional span tracer shared across incarnations; the daemon bumps
+        #: its incarnation index per attempt so restarted spans land on
+        #: separate trace tracks
+        self.tracer = tracer
         if ranklist is None:
             ranklist = cluster.default_ranklist(n_ranks, procs_per_node=procs_per_node)
         self.ranklist: List[int] = list(ranklist)
@@ -114,6 +127,8 @@ class JobDaemon:
         or the restart budget is exhausted."""
         report = DaemonReport(completed=False, result=None, n_restarts=0)
         for attempt in range(self.policy.max_restarts + 1):
+            if self.tracer is not None:
+                self.tracer.new_incarnation(attempt)
             job = Job(
                 self.cluster,
                 self.main,
@@ -123,6 +138,8 @@ class JobDaemon:
                 failure_plan=self.failure_plan,
                 deadlock_timeout_s=self.deadlock_timeout_s,
                 trace=self.trace,
+                observer=self.observer,
+                tracer=self.tracer,
                 name=f"{self.name}#{attempt}",
             )
             result = job.run()

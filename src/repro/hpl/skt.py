@@ -98,10 +98,11 @@ def skt_hpl_main(ctx: RankContext, scfg: SKTConfig) -> SKTResult:
         start_panel = int(report.local["panel"])
     else:
         start_panel = 0
-        matgen.generate_local_matrix(
-            cfg, rowmap, colmap, grid.myrow, grid.mycol, out=a_loc
-        )
-        matgen.generate_local_rhs(cfg, rowmap, grid.myrow, out=b_loc)
+        with ctx.span("hpl.generate", n=cfg.n, nbytes=int(a_loc.nbytes + b_loc.nbytes)):
+            matgen.generate_local_matrix(
+                cfg, rowmap, colmap, grid.myrow, grid.mycol, out=a_loc
+            )
+            matgen.generate_local_rhs(cfg, rowmap, grid.myrow, out=b_loc)
 
     nbl = cfg.n_blocks
     pace = {

@@ -1,0 +1,79 @@
+"""Machine-readable perf records: the ``BENCH_obs.json`` writer.
+
+Every instrumented run can be flattened into one JSON record holding the
+headline numbers a perf trajectory tracks — virtual makespan, restart
+count, span totals by name, traffic balance, and the recovery critical
+path.  The record is deliberately wall-clock-free: it captures *simulated*
+cost, so run-to-run diffs reflect algorithmic changes, not host noise.
+Benchmarks append host timing separately if they want it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.obs.report import aggregate_by_name, critical_path, rank_busy, recovery_path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.scenario import ObsRun
+
+#: bump when the record layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_record(run: "ObsRun") -> Dict[str, Any]:
+    """Flatten one run into the ``BENCH_obs.json`` record."""
+    spans = run.spans
+    reg = run.registry
+    top = [
+        {"name": name, "count": count, "total_s": total}
+        for name, count, total, _mean, _mx in aggregate_by_name(spans)[:10]
+    ]
+    busy = rank_busy(spans)
+    def _chain(sp):
+        return [
+            {"name": s.name, "rank": s.rank, "begin_s": s.begin, "status": s.status}
+            for s in sp
+        ]
+
+    chain = _chain(critical_path(spans))
+    rec_chain = _chain(recovery_path(spans))
+    sent = reg.total("mpi.bytes_sent")
+    recv = reg.total("mpi.bytes_recv")
+    posted = reg.total("mpi.bytes_posted")
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": "obs",
+        "scenario": run.scenario,
+        "seed": run.seed,
+        "params": dict(run.params),
+        "completed": run.completed,
+        "n_restarts": run.n_restarts,
+        "makespan_s": run.makespan_s,
+        "n_spans": len(spans),
+        "n_interrupted_spans": sum(1 for s in spans if s.status != "ok"),
+        "top_spans": top,
+        "rank_busy_s": {str(r): busy[r] for r in sorted(busy)},
+        "critical_path": chain,
+        "recovery_path": rec_chain,
+        "traffic": {
+            "bytes_sent": sent,
+            "bytes_recv": recv,
+            "bytes_posted": posted,
+            "bytes_stranded": posted - sent,
+        },
+        "ckpt_count": reg.total("ckpt.count"),
+        "ckpt_bytes_encoded": reg.total("ckpt.bytes_encoded"),
+        "restore_count": reg.total("restore.count"),
+        "failures_injected": reg.total("job.failures_injected"),
+    }
+
+
+def bench_json(run: "ObsRun") -> str:
+    return json.dumps(bench_record(run), sort_keys=True, indent=2) + "\n"
+
+
+def write_bench(path: str, run: "ObsRun") -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(bench_json(run))

@@ -1,0 +1,124 @@
+"""``repro obs`` — run an instrumented scenario and export its profile.
+
+Usage::
+
+    repro obs --scenario skt-hpl --fail-at panel:3 --out obs-out/
+    repro obs --scenario selfckpt --fail-at flush:2
+    repro obs --scenario skt-hpl --report-only
+
+Writes four artifacts into ``--out`` (default ``obs-out``): a Perfetto/
+``chrome://tracing``-loadable ``trace.json``, a ``metrics.jsonl``
+snapshot, the ASCII ``report.txt``, and a machine-readable
+``BENCH_obs.json`` perf record.  The report is also printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.obs.scenario import (
+    SCENARIOS,
+    parse_fail_at,
+    run_scenario,
+    summarize,
+    write_artifacts,
+)
+
+
+def obs_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "Run an instrumented scenario and export spans/metrics "
+            "(Chrome trace JSON, metrics JSON-lines, ASCII report, "
+            "BENCH_obs.json)."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=SCENARIOS,
+        default="skt-hpl",
+        help="which application to run (default: skt-hpl)",
+    )
+    parser.add_argument(
+        "--fail-at",
+        default=None,
+        metavar="PHASE[:K]",
+        help="power off a node on the K-th announcement of PHASE "
+        "(aliases: panel, flush, encode; e.g. 'panel:3')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="matrix / workload seed"
+    )
+    parser.add_argument("--n", type=int, default=64, help="HPL problem size")
+    parser.add_argument("--nb", type=int, default=8, help="HPL block size")
+    parser.add_argument("--grid", default="2x2", help="process grid PxQ")
+    parser.add_argument(
+        "--method", default="self", help="checkpoint method (self, double, ...)"
+    )
+    parser.add_argument(
+        "--group-size", type=int, default=4, help="checkpoint group size"
+    )
+    parser.add_argument(
+        "--interval", type=int, default=2, help="checkpoint every K panels/iters"
+    )
+    parser.add_argument(
+        "--out", default="obs-out", help="artifact directory (default: obs-out)"
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the ASCII report without writing artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        p, q = (int(v) for v in args.grid.lower().split("x"))
+    except ValueError:
+        parser.error(f"--grid must look like PxQ, got {args.grid!r}")
+
+    try:
+        parse_fail_at(args.fail_at)
+    except ValueError as exc:
+        parser.error(f"--fail-at: {exc}")
+
+    run = run_scenario(
+        args.scenario,
+        fail_at=args.fail_at,
+        seed=args.seed,
+        n=args.n,
+        nb=args.nb,
+        p=p,
+        q=q,
+        group_size=args.group_size,
+        interval_panels=args.interval,
+        method=args.method,
+        ckpt_every=args.interval,
+    )
+
+    from repro.obs.report import render_report
+
+    print(
+        render_report(
+            run.spans,
+            run.registry,
+            title=f"obs run report: {run.scenario} (seed {run.seed})",
+        )
+    )
+    print()
+    for line in summarize(run):
+        print(line)
+
+    if not args.report_only:
+        paths = write_artifacts(run, args.out)
+        for kind in sorted(paths):
+            print(f"wrote {kind}: {paths[kind]}")
+
+    return 0 if run.completed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(obs_main())

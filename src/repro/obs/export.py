@@ -1,0 +1,160 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON-lines, bench records.
+
+The Chrome trace format (the ``traceEvents`` JSON that Perfetto and
+``chrome://tracing`` load) maps cleanly onto the span model: one complete
+("X") event per span, ``pid`` = job incarnation, ``tid`` = rank, ``ts``/
+``dur`` in microseconds of *virtual* time.  Nesting needs no explicit
+links — the viewers stack events on a thread track by interval
+containment, which per-rank span stacks guarantee.
+
+Everything here is deterministic: spans arrive in (incarnation, rank,
+seq) order from the tracer, JSON is dumped with sorted keys, and no
+wall-clock or RNG is consulted — two runs with one seed produce
+byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import STATUS_OK, Span
+
+#: virtual seconds -> trace microseconds
+_US = 1e6
+
+#: span attr keys injected by the exporter; stripped again on parse
+_META_KEYS = ("span_id", "parent_id", "status")
+
+
+def chrome_trace_events(spans: List[Span]) -> List[Dict[str, Any]]:
+    """Flatten spans into Chrome trace events (metadata + one "X" each)."""
+    events: List[Dict[str, Any]] = []
+    seen_tracks = set()
+    for s in spans:
+        track = (s.incarnation, s.rank)
+        if track not in seen_tracks:
+            seen_tracks.add(track)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": s.incarnation,
+                    "tid": s.rank,
+                    "args": {"name": f"incarnation {s.incarnation}"},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": s.incarnation,
+                    "tid": s.rank,
+                    "args": {"name": f"rank {s.rank}"},
+                }
+            )
+    for s in spans:
+        end = s.end if s.end is not None else s.begin
+        args: Dict[str, Any] = dict(s.attrs)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        if s.status != STATUS_OK:
+            args["status"] = s.status
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.name.split(".")[0],
+                "pid": s.incarnation,
+                "tid": s.rank,
+                "ts": s.begin * _US,
+                "dur": (end - s.begin) * _US,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace_json(spans: List[Span]) -> str:
+    """The full Chrome/Perfetto trace document as a JSON string."""
+    doc = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(spans),
+    }
+    return json.dumps(doc, sort_keys=True, indent=None, separators=(",", ":"))
+
+
+def write_chrome_trace(path: str, spans: List[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(chrome_trace_json(spans))
+
+
+def parse_chrome_trace(doc: Union[str, Dict[str, Any]]) -> List[Span]:
+    """Rebuild spans from an exported trace document (round-trip inverse).
+
+    The span tree (ids, parents, names, clocks, attrs, status) survives a
+    full export -> parse cycle exactly; the golden-file test in
+    ``tests/obs`` holds the exporter to that.
+    """
+    if isinstance(doc, str):
+        doc = json.loads(doc)
+    spans: List[Span] = []
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent_id", None)
+        status = args.pop("status", STATUS_OK)
+        begin = ev["ts"] / _US
+        spans.append(
+            Span(
+                span_id=span_id,
+                rank=ev["tid"],
+                name=ev["name"],
+                begin=begin,
+                end=begin + ev["dur"] / _US,
+                attrs=args,
+                parent_id=parent_id,
+                status=status,
+                incarnation=ev["pid"],
+            )
+        )
+    return spans
+
+
+def span_tree(spans: List[Span]) -> Dict[Optional[str], List[str]]:
+    """``{parent_id: [child span_id...]}`` in deterministic order — the
+    structural fingerprint the round-trip test compares."""
+    tree: Dict[Optional[str], List[str]] = {}
+    for s in spans:
+        tree.setdefault(s.parent_id, []).append(s.span_id)
+    return tree
+
+
+def metrics_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per line per instrument, deterministically ordered."""
+    lines = []
+    for s in registry.samples():
+        rec: Dict[str, Any] = {
+            "name": s.name,
+            "kind": s.kind,
+            "labels": s.labels,
+            "value": s.value,
+        }
+        if s.extra:
+            rec.update(s.extra)
+        lines.append(json.dumps(rec, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_jsonl(path: str, registry: MetricsRegistry) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(metrics_jsonl(registry))
+
+
+def read_metrics_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse a metrics JSON-lines document back into records."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -1,0 +1,85 @@
+"""Canonical span labels and metric names for the observability layer.
+
+Every span a protocol opens and every metric the observers feed is named
+here, once.  The :mod:`repro.sancheck.simlint` ``obs-label`` rule checks
+string literals at ``ctx.span(...)`` / ``registry.counter(...)`` call
+sites against these sets, so a typo in an instrumentation label is a lint
+failure rather than a silently empty dashboard panel.
+
+Naming scheme: ``<subsystem>.<operation>`` with dots, lowercase.  Span
+labels parallel the ``ctx.phase`` announcements where one exists (e.g.
+the ``ckpt.encode`` span covers the work announced by the ``ckpt.encode``
+phase) but spans carry begin/end clocks and attributes, not just a point
+event.  Units are part of the metric contract: ``*_s`` are virtual
+seconds, ``*bytes*`` are bytes, everything else is a count.
+"""
+
+from __future__ import annotations
+
+#: Span labels the protocols and drivers may open (see docs/OBSERVABILITY.md).
+SPAN_LABELS = frozenset(
+    {
+        # checkpoint protocols (self/self-rs/double/buddy/...)
+        "ckpt",  # one whole checkpoint, root of the ckpt.* children
+        "ckpt.copy_a2",  # A2 -> B2 shadow copy (self-checkpoint step 1)
+        "ckpt.encode",  # group checksum / parity encode collective
+        "ckpt.exchange",  # buddy full-copy exchange (replication "encode")
+        "ckpt.commit",  # flush + license barriers up to ckpt.done
+        # recovery paths
+        "restore",  # one whole restore, root of the restore.* children
+        "restore.rebuild",  # survivor-assisted reconstruction of lost members
+        "restore.commit",  # rewrite of the clean (B, C) pair + barriers
+        # HPL driver
+        "hpl.panel",  # one elimination iteration (attr k = panel index)
+        "hpl.backsub",  # back substitution
+        "hpl.verify",  # residual verification
+        "hpl.generate",  # fixed-seed matrix/rhs generation
+    }
+)
+
+#: Metric names the observers and scenario runner register.
+METRIC_NAMES = frozenset(
+    {
+        # MPI traffic: *_posted counts at send time (includes messages lost
+        # to a failure mid-flight); bytes_sent/bytes_recv count at delivery
+        # time, attributed to the sender/receiver rank — so aggregated over
+        # a job, bytes_sent == bytes_recv by construction
+        "mpi.bytes_posted",
+        "mpi.msgs_posted",
+        "mpi.bytes_sent",
+        "mpi.bytes_recv",
+        "mpi.msgs_recv",
+        "mpi.blocked_s",  # histogram: virtual seconds blocked per receive
+        "mpi.collective_s",  # virtual seconds inside collectives (sync + cost)
+        "mpi.collectives",  # collective operations completed
+        # shared memory (instrumented accesses through ShmSegment.read/write
+        # and store create/attach/unlink; raw .array references are invisible)
+        "shm.ops",
+        "shm.bytes_written",
+        # job lifecycle (fed by the scenario runner from the daemon report)
+        "job.restarts",
+        "job.failures_injected",
+        "job.completed",
+        "job.makespan_s",
+        # checkpoint/recovery aggregates (derived from the span stream)
+        "ckpt.count",
+        "ckpt.bytes_encoded",
+        "restore.count",
+    }
+)
+
+#: Message tag classes for per-tag-class traffic accounting: HPL row swaps
+#: use ``tag_base * nb + j + 1000``, the buddy rescue path uses tag 999,
+#: everything else (checkpoint status, app traffic) is plain point-to-point.
+TAG_CLASS_SWAP = "swap"
+TAG_CLASS_RESCUE = "rescue"
+TAG_CLASS_PT2PT = "pt2pt"
+
+
+def tag_class(tag: int) -> str:
+    """Coarse traffic class of a message tag (see module docstring)."""
+    if tag >= 1000:
+        return TAG_CLASS_SWAP
+    if tag == 999:
+        return TAG_CLASS_RESCUE
+    return TAG_CLASS_PT2PT

@@ -1,0 +1,310 @@
+"""Instrumented scenarios behind ``repro obs`` and the obs benchmark.
+
+:func:`run_scenario` wires a :class:`~repro.obs.spans.SpanTracer` and a
+:class:`~repro.obs.metrics.MetricsObserver` into a supervised run of one
+of the built-in applications, optionally aiming a failure at a named
+protocol phase, and returns everything the exporters need.
+:func:`write_artifacts` turns one run into the artifact set — Chrome
+trace, metrics JSON-lines, ASCII report, ``BENCH_obs.json``.
+
+Determinism contract: everything is driven by virtual clocks and the
+fixed matrix seed; two calls with identical arguments produce
+byte-identical artifacts, and the tests hold this to be true.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+SCENARIOS = ("skt-hpl", "selfckpt")
+
+#: CLI phase aliases -> the phase names rank code actually announces
+PHASE_ALIASES = {
+    "panel": "hpl.panel",
+    "flush": "ckpt.flush",
+    "encode": "ckpt.encode",
+}
+
+
+def parse_fail_at(spec: Optional[str]) -> Optional[Tuple[str, int]]:
+    """``"panel:3"`` -> ``("hpl.panel", 3)``; ``None`` stays ``None``."""
+    if spec is None:
+        return None
+    name, _, occ = spec.partition(":")
+    phase = PHASE_ALIASES.get(name, name)
+    occurrence = int(occ) if occ else 1
+    if occurrence < 1:
+        raise ValueError(f"occurrence must be >= 1 in --fail-at {spec!r}")
+    return phase, occurrence
+
+
+@dataclass
+class ObsRun:
+    """One instrumented scenario run, ready for export."""
+
+    scenario: str
+    seed: int
+    completed: bool
+    n_restarts: int
+    makespan_s: float
+    tracer: SpanTracer
+    registry: MetricsRegistry
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def spans(self) -> list:
+        return self.tracer.spans()
+
+
+def _fill_job_metrics(run: ObsRun, report: Any, plan: Any) -> None:
+    """Derive the job/ckpt-level counters from the daemon report and the
+    recorded spans (the observer only sees communicator/SHM events)."""
+    reg = run.registry
+    reg.counter("job.restarts").inc(report.n_restarts)
+    reg.counter("job.failures_injected").inc(len(plan.fired))
+    reg.gauge("job.completed").set(1.0 if report.completed else 0.0)
+    reg.gauge("job.makespan_s").set(report.total_virtual_s)
+    for s in run.tracer.spans():
+        if s.name == "ckpt" and s.status == "ok":
+            reg.counter("ckpt.count", rank=s.rank).inc()
+        elif s.name == "ckpt.encode":
+            reg.counter("ckpt.bytes_encoded", rank=s.rank).inc(
+                int(s.attrs.get("nbytes", 0))
+            )
+        elif s.name == "restore" and s.status == "ok":
+            reg.counter("restore.count", rank=s.rank).inc()
+
+
+def _build_plan(fail_at: Optional[Tuple[str, int]], node_id: int):
+    from repro.sim import FailurePlan, PhaseTrigger
+
+    if fail_at is None:
+        return FailurePlan()
+    phase, occurrence = fail_at
+    return FailurePlan(
+        [PhaseTrigger(node_id=node_id, phase=phase, occurrence=occurrence)]
+    )
+
+
+def _run_skt_hpl(
+    fail_at: Optional[Tuple[str, int]],
+    seed: int,
+    n: int,
+    nb: int,
+    p: int,
+    q: int,
+    group_size: int,
+    interval_panels: int,
+    method: str,
+) -> ObsRun:
+    from repro.hpl import (
+        HPLConfig,
+        JobDaemon,
+        RestartPolicy,
+        SKTConfig,
+        skt_hpl_main,
+    )
+    from repro.sim import Cluster
+
+    cfg = HPLConfig(n=n, nb=nb, p=p, q=q, seed=seed)
+    scfg = SKTConfig(
+        hpl=cfg,
+        method=method,
+        group_size=group_size,
+        interval_panels=interval_panels,
+    )
+    n_ranks = cfg.n_ranks
+    cluster = Cluster(n_ranks, n_spares=2)
+    # doom the last compute node: far from rank 0, so the report's
+    # critical path crosses the rescue traffic
+    plan = _build_plan(fail_at, node_id=n_ranks - 1)
+
+    tracer = SpanTracer()
+    metrics = MetricsObserver()
+    metrics.watch_cluster(cluster)
+    daemon = JobDaemon(
+        cluster,
+        skt_hpl_main,
+        n_ranks,
+        args=(scfg,),
+        procs_per_node=1,
+        failure_plan=plan,
+        policy=RestartPolicy(detect_s=63.0, replace_s=10.0, restart_s=9.0),
+        observer=metrics,
+        tracer=tracer,
+        name="obs-skt",
+    )
+    report = daemon.run()
+
+    run = ObsRun(
+        scenario="skt-hpl",
+        seed=seed,
+        completed=report.completed,
+        n_restarts=report.n_restarts,
+        makespan_s=report.total_virtual_s,
+        tracer=tracer,
+        registry=metrics.registry,
+        params={
+            "n": n,
+            "nb": nb,
+            "grid": f"{p}x{q}",
+            "method": method,
+            "group_size": group_size,
+            "interval_panels": interval_panels,
+            "fail_at": None if fail_at is None else f"{fail_at[0]}:{fail_at[1]}",
+        },
+    )
+    _fill_job_metrics(run, report, plan)
+    return run
+
+
+def _run_selfckpt(
+    fail_at: Optional[Tuple[str, int]],
+    seed: int,
+    n_ranks: int,
+    group_size: int,
+    iters: int,
+    ckpt_every: int,
+    method: str,
+) -> ObsRun:
+    """A small iterative self-checkpoint app under the daemon — the
+    protocol alone, no HPL, for quick protocol-path profiles."""
+    from repro.ckpt import CheckpointManager
+    from repro.hpl import JobDaemon, RestartPolicy
+    from repro.sim import Cluster
+
+    def app(ctx):
+        mgr = CheckpointManager(
+            ctx, ctx.world, group_size=group_size, method=method
+        )
+        a = mgr.alloc("data", 256)
+        mgr.commit()
+        report = mgr.try_restore()
+        start = report.local["it"] if report else 0
+        for it in range(start, iters):
+            a += ctx.world.rank + 1 + seed
+            ctx.compute(1e7)
+            if (it + 1) % ckpt_every == 0:
+                mgr.local["it"] = it + 1
+                mgr.checkpoint()
+        return True
+
+    cluster = Cluster(n_ranks, n_spares=2)
+    plan = _build_plan(fail_at, node_id=n_ranks - 1)
+    tracer = SpanTracer()
+    metrics = MetricsObserver()
+    metrics.watch_cluster(cluster)
+    daemon = JobDaemon(
+        cluster,
+        app,
+        n_ranks,
+        procs_per_node=1,
+        failure_plan=plan,
+        policy=RestartPolicy(detect_s=30.0, replace_s=10.0, restart_s=9.0),
+        observer=metrics,
+        tracer=tracer,
+        name="obs-selfckpt",
+    )
+    report = daemon.run()
+
+    run = ObsRun(
+        scenario="selfckpt",
+        seed=seed,
+        completed=report.completed,
+        n_restarts=report.n_restarts,
+        makespan_s=report.total_virtual_s,
+        tracer=tracer,
+        registry=metrics.registry,
+        params={
+            "n_ranks": n_ranks,
+            "group_size": group_size,
+            "iters": iters,
+            "ckpt_every": ckpt_every,
+            "method": method,
+            "fail_at": None if fail_at is None else f"{fail_at[0]}:{fail_at[1]}",
+        },
+    )
+    _fill_job_metrics(run, report, plan)
+    return run
+
+
+def run_scenario(
+    scenario: str = "skt-hpl",
+    *,
+    fail_at: Optional[str] = None,
+    seed: int = 42,
+    n: int = 64,
+    nb: int = 8,
+    p: int = 2,
+    q: int = 2,
+    group_size: int = 4,
+    interval_panels: int = 2,
+    method: str = "self",
+    iters: int = 6,
+    ckpt_every: int = 2,
+) -> ObsRun:
+    """Run one instrumented scenario and return its spans + metrics.
+
+    ``fail_at`` is the CLI spelling ``"phase[:occurrence]"`` (with the
+    ``panel``/``flush``/``encode`` aliases); the failure is aimed at the
+    last compute node, and the job daemon supervises the restart.
+    """
+    parsed = parse_fail_at(fail_at)
+    if scenario == "skt-hpl":
+        return _run_skt_hpl(
+            parsed, seed, n, nb, p, q, group_size, interval_panels, method
+        )
+    if scenario == "selfckpt":
+        return _run_selfckpt(
+            parsed, seed, p * q, group_size, iters, ckpt_every, method
+        )
+    raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+
+
+def write_artifacts(run: ObsRun, out_dir: str) -> Dict[str, str]:
+    """Write the full artifact set; returns ``{kind: path}``."""
+    from repro.obs.bench import write_bench
+    from repro.obs.export import write_chrome_trace, write_metrics_jsonl
+    from repro.obs.report import render_report
+
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "trace": os.path.join(out_dir, "trace.json"),
+        "metrics": os.path.join(out_dir, "metrics.jsonl"),
+        "report": os.path.join(out_dir, "report.txt"),
+        "bench": os.path.join(out_dir, "BENCH_obs.json"),
+    }
+    write_chrome_trace(paths["trace"], run.spans)
+    write_metrics_jsonl(paths["metrics"], run.registry)
+    with open(paths["report"], "w", encoding="utf-8") as f:
+        f.write(
+            render_report(
+                run.spans,
+                run.registry,
+                title=f"obs run report: {run.scenario} (seed {run.seed})",
+            )
+            + "\n"
+        )
+    write_bench(paths["bench"], run)
+    return paths
+
+
+def summarize(run: ObsRun) -> List[str]:
+    """Short human summary lines for the CLI."""
+    sent, recv, posted = (
+        run.registry.total("mpi.bytes_sent"),
+        run.registry.total("mpi.bytes_recv"),
+        run.registry.total("mpi.bytes_posted"),
+    )
+    return [
+        f"scenario={run.scenario} seed={run.seed} completed={run.completed} "
+        f"restarts={run.n_restarts}",
+        f"spans={len(run.tracer)} makespan={run.makespan_s:.1f}s (virtual)",
+        f"delivered bytes sent={int(sent)} recv={int(recv)} "
+        f"stranded={int(posted - sent)}",
+    ]

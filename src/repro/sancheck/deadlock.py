@@ -74,7 +74,9 @@ class DeadlockDetector(SimObserver):
             )
         return None
 
-    def on_recv(self, dst: int, src: int, tag: int, token: Any, clock: float) -> None:
+    def on_recv(
+        self, dst: int, src: int, tag: int, token: Any, clock: float, waited_s: float = 0.0
+    ) -> None:
         with self._lock:
             key = ("", dst, src, tag)
             n = self._in_flight.get(key, 0)

@@ -119,7 +119,9 @@ class RaceDetector(SimObserver):
             self._vc[src].tick(src)
             return self._vc[src].copy()
 
-    def on_recv(self, dst: int, src: int, tag: int, token: Any, clock: float) -> None:
+    def on_recv(
+        self, dst: int, src: int, tag: int, token: Any, clock: float, waited_s: float = 0.0
+    ) -> None:
         with self._lock:
             if isinstance(token, VectorClock):
                 self._vc[dst].merge(token)
@@ -145,7 +147,7 @@ class RaceDetector(SimObserver):
                 del self._pending[comm]
 
     # -- SHM access recording ----------------------------------------------------
-    def on_shm(self, node_id: int, name: str, kind: str) -> None:
+    def on_shm(self, node_id: int, name: str, kind: str, nbytes: int = 0) -> None:
         try:
             ctx = current_ctx()
         except RuntimeError:

@@ -30,6 +30,15 @@ tree:
     copies defensively, application code written against it must stay
     correct on zero-copy transports.
 
+``obs-label``
+    String literals passed to ``ctx.span(...)`` must come from
+    :data:`repro.obs.labels.SPAN_LABELS` and literals naming instruments
+    (``registry.counter/gauge/histogram(...)``) from
+    :data:`repro.obs.labels.METRIC_NAMES` — the closed vocabularies every
+    exporter, report and dashboard keys on.  A typo'd label would create a
+    silently-separate series; this catches it at lint time, before the
+    registry's runtime check ever runs.
+
 Suppression: a line containing ``# simlint: allow`` (all rules) or
 ``# simlint: allow[rule1,rule2]`` is exempt.
 """
@@ -42,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.labels import METRIC_NAMES, SPAN_LABELS
 from repro.sancheck.findings import Finding
 
 #: dotted call paths that consult the wall clock
@@ -114,7 +124,13 @@ COPY_CALLS = {"numpy.copy", "numpy.array", "numpy.ascontiguousarray", "copy.copy
 #: in-place mutator method names on tainted names
 MUTATOR_METHODS = {"fill", "sort", "resize", "partition", "put", "setflags", "update", "clear", "append", "extend", "insert", "remove"}
 
-ALL_RULES = ("wallclock", "threading", "rng", "recv-mutate")
+#: method names whose first (string-literal) argument names a span
+SPAN_METHODS = {"span"}
+
+#: method names whose first (string-literal) argument names a metric
+METRIC_METHODS = {"counter", "gauge", "histogram"}
+
+ALL_RULES = ("wallclock", "threading", "rng", "recv-mutate", "obs-label")
 
 _PRAGMA_RE = re.compile(r"#\s*simlint:\s*allow(?:\[([\w\-,\s]*)\])?")
 
@@ -314,7 +330,40 @@ class _Linter(ast.NodeVisitor):
                         "unseeded numpy.random.default_rng() — restarted "
                         "ranks must be able to regenerate identical streams",
                     )
+        self._check_obs_label(node)
         self.generic_visit(node)
+
+    def _check_obs_label(self, node: ast.Call) -> None:
+        """Validate literal span/metric names against the closed
+        vocabularies in :mod:`repro.obs.labels`."""
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr not in SPAN_METHODS and attr not in METRIC_METHODS:
+            return
+        arg: Optional[ast.expr] = node.args[0] if node.args else None
+        if arg is None:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    arg = kw.value
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            return  # dynamic names are the registry's runtime problem
+        name = arg.value
+        if attr in SPAN_METHODS and name not in SPAN_LABELS:
+            self._report(
+                "obs-label",
+                node,
+                f"span label {name!r} is not in repro.obs.labels.SPAN_LABELS"
+                " — register it there (typo'd labels fragment the trace)",
+            )
+        elif attr in METRIC_METHODS and name not in METRIC_NAMES:
+            self._report(
+                "obs-label",
+                node,
+                f"metric name {name!r} is not in "
+                "repro.obs.labels.METRIC_NAMES — register it there "
+                "(typo'd names create silently-separate series)",
+            )
 
     # -- recv-mutate taint tracking --------------------------------------------
     def visit_Assign(self, node: ast.Assign) -> None:

@@ -7,10 +7,13 @@ Semantics follow the subset of MPI the paper's systems need:
   ``reduce``, ``allreduce``, ``gather``, ``allgather``, ``scatter``,
   ``alltoall``, ``barrier``),
 * ``split`` to build group/row/column communicators,
-* abort-on-failure: when any node dies, every rank blocked in or entering a
-  communication call raises, mirroring "almost all current MPI
+* abort-on-failure: when any node dies, the abort cascades along the
+  communication graph — a rank raises when it blocks on a wait that
+  terminated ranks can no longer satisfy (messages posted before the
+  failure are still delivered first), mirroring "almost all current MPI
   implementations force the whole program to abort after a node failure"
-  (paper section 1).
+  (paper section 1) while keeping every rank's death point a function of
+  virtual program order, so failure runs replay bit-identically.
 
 Every operation advances the participants' virtual clocks by the
 alpha-beta cost from :class:`~repro.sim.netmodel.NetworkModel`; collectives
@@ -33,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.sim._tls import current_ctx
-from repro.sim.errors import SimError
+from repro.sim.errors import JobAbortedError, SimError
 from repro.sim.netmodel import NetworkModel
 from repro.sim.observer import BlockDesc
 
@@ -150,16 +153,21 @@ class Request:
                 self._comm._mail_cond,
                 lambda: self._comm._mail.get(self._key),
                 desc=self._comm._recv_desc(self._key),
+                peers=(self._comm._members[self._key[1]],),
             )
             env = self._comm._mail[self._key].pop(0)
             if not self._comm._mail[self._key]:
                 del self._comm._mail[self._key]
+        before = ctx.clock
         ctx.clock = max(
             ctx.clock + self._comm._net.params.latency_s, env.arrival_time
         )
+        waited = max(
+            0.0, ctx.clock - before - self._comm._net.params.latency_s
+        )
         self._done = True
         self._value = env.payload
-        self._comm._notify_recv(self._key, env)
+        self._comm._notify_recv(self._key, env, waited)
         return self._value
 
 
@@ -253,13 +261,15 @@ class Communicator:
         ctx = current_ctx()
         return obs.on_send(ctx.rank, self._members[dest], tag, nbytes, ctx.clock)
 
-    def _notify_recv(self, key: Tuple[int, int, int], env: _Envelope) -> None:
+    def _notify_recv(
+        self, key: Tuple[int, int, int], env: _Envelope, waited_s: float = 0.0
+    ) -> None:
         obs = self._job.observer
         if obs is None:
             return
         ctx = current_ctx()
         _, src, tag = key
-        obs.on_recv(ctx.rank, self._members[src], tag, env.token, ctx.clock)
+        obs.on_recv(ctx.rank, self._members[src], tag, env.token, ctx.clock, waited_s)
 
     # -- waiting with failure delivery -----------------------------------------
     def _wait(
@@ -267,9 +277,17 @@ class Communicator:
         cond: threading.Condition,
         predicate: Callable[[], bool],
         desc: Optional[BlockDesc] = None,
+        peers: Tuple[int, ...] = (),
     ) -> None:
         """Block on ``cond`` until ``predicate``; deliver aborts and watch
         for wall-clock deadlocks.  Caller must hold ``cond``.
+
+        ``peers`` lists the world ranks whose progress could satisfy this
+        wait.  When the job is aborting and one of them has terminated the
+        wait raises :class:`JobAbortedError` — the deterministic failure
+        delivery path: the predicate is always tried first, so messages
+        posted before the failure are consumed, and the raise point depends
+        only on virtual program order.
 
         When an observer is installed and ``desc`` describes the wait, the
         observer sees ``on_block`` the first time the predicate fails and a
@@ -282,6 +300,11 @@ class Communicator:
         try:
             while not predicate():
                 ctx.check()
+                if peers and self._job.wait_unsatisfiable(peers):
+                    raise JobAbortedError(
+                        f"rank {ctx.rank}: job aborting and a peer rank "
+                        f"terminated; {self.name} wait cannot be satisfied"
+                    )
                 if not blocked and obs is not None and desc is not None:
                     blocked = True
                     obs.on_block(ctx.rank, desc)
@@ -345,13 +368,21 @@ class Communicator:
         key = (self.rank, source, tag)
         with self._mail_cond:
             self._wait(
-                self._mail_cond, lambda: self._mail.get(key), desc=self._recv_desc(key)
+                self._mail_cond,
+                lambda: self._mail.get(key),
+                desc=self._recv_desc(key),
+                peers=(self._members[source],),
             )
             env = self._mail[key].pop(0)
             if not self._mail[key]:
                 del self._mail[key]
+        # virtual time spent waiting on the sender: how far the arrival
+        # outran our own clock-plus-latency (deterministic, unlike whether
+        # the thread physically parked)
+        before = ctx.clock
         ctx.clock = max(ctx.clock + self._net.params.latency_s, env.arrival_time)
-        self._notify_recv(key, env)
+        waited = max(0.0, ctx.clock - before - self._net.params.latency_s)
+        self._notify_recv(key, env, waited)
         return env.payload
 
     def sendrecv(
@@ -418,11 +449,13 @@ class Communicator:
         slot = self._slot
         me = self.rank
         obs = self._job.observer
+        others = tuple(w for w in self._members if w != ctx.rank)
         with slot.cond:
             self._wait(
                 slot.cond,
                 lambda: slot.phase == "gathering" and me not in slot.contrib,
                 desc=self._collective_desc("collective-join"),
+                peers=others,
             )
             slot.contrib[me] = (contribution, ctx.clock)
             if obs is not None:
@@ -439,6 +472,7 @@ class Communicator:
                     slot.cond,
                     lambda: slot.phase == "draining",
                     desc=self._collective_desc("collective-drain"),
+                    peers=others,
                 )
             result = slot.results[me]  # type: ignore[index]
             ctx.clock = max(ctx.clock, slot.finish_clock)

@@ -56,7 +56,19 @@ class SimObserver:
     def on_send(self, src: int, dst: int, tag: int, nbytes: int, clock: float) -> Any:
         return None
 
-    def on_recv(self, dst: int, src: int, tag: int, token: Any, clock: float) -> None:
+    def on_recv(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        token: Any,
+        clock: float,
+        waited_s: float = 0.0,
+    ) -> None:
+        """Message delivery.  ``waited_s`` is the *virtual* time the
+        receiver's clock jumped waiting for the sender's arrival (0 when
+        the message was already there) — deterministic, unlike whether the
+        rank's thread physically parked in :meth:`on_block`."""
         pass
 
     # -- collectives ----------------------------------------------------------
@@ -78,10 +90,11 @@ class SimObserver:
         pass
 
     # -- shared memory --------------------------------------------------------
-    def on_shm(self, node_id: int, name: str, kind: str) -> None:
+    def on_shm(self, node_id: int, name: str, kind: str, nbytes: int = 0) -> None:
         """SHM segment access: ``kind`` is one of ``create``, ``attach``,
-        ``read``, ``write``, ``unlink``.  The accessing rank (if any) is the
-        thread's bound :class:`~repro.sim.runtime.RankContext`."""
+        ``read``, ``write``, ``unlink``.  ``nbytes`` is the segment size the
+        operation touched (0 when unknown).  The accessing rank (if any) is
+        the thread's bound :class:`~repro.sim.runtime.RankContext`."""
         pass
 
 
@@ -94,10 +107,18 @@ class MultiObserver(SimObserver):
     def on_send(self, src: int, dst: int, tag: int, nbytes: int, clock: float) -> Any:
         return tuple(o.on_send(src, dst, tag, nbytes, clock) for o in self.observers)
 
-    def on_recv(self, dst: int, src: int, tag: int, token: Any, clock: float) -> None:
+    def on_recv(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        token: Any,
+        clock: float,
+        waited_s: float = 0.0,
+    ) -> None:
         tokens = token if isinstance(token, tuple) else (token,) * len(self.observers)
         for o, t in zip(self.observers, tokens):
-            o.on_recv(dst, src, tag, t, clock)
+            o.on_recv(dst, src, tag, t, clock, waited_s)
 
     def on_collective_enter(self, comm: str, size: int, rank: int, clock: float) -> None:
         for o in self.observers:
@@ -115,9 +136,9 @@ class MultiObserver(SimObserver):
         for o in self.observers:
             o.on_unblock(rank)
 
-    def on_shm(self, node_id: int, name: str, kind: str) -> None:
+    def on_shm(self, node_id: int, name: str, kind: str, nbytes: int = 0) -> None:
         for o in self.observers:
-            o.on_shm(node_id, name, kind)
+            o.on_shm(node_id, name, kind, nbytes)
 
 
 def install_observer(job: Any, observer: SimObserver) -> None:

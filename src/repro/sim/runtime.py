@@ -10,8 +10,14 @@ Failure semantics reproduce the environment the paper assumes:
 * the first rank to observe its node dead raises
   :class:`~repro.sim.errors.NodeFailedError`, which flips the job into the
   aborting state;
-* every other rank raises :class:`~repro.sim.errors.JobAbortedError` at its
-  next runtime interaction — the whole job dies, like ``mpirun`` does;
+* every other rank raises :class:`~repro.sim.errors.JobAbortedError` when
+  it blocks on communication that terminated ranks can no longer satisfy —
+  the abort cascades along the communication graph, so each rank dies at a
+  point fixed by virtual program order, never by thread scheduling, and
+  runs with one seed produce bit-identical traces even through failures;
+* :meth:`Job.abort` (MPI_Abort semantics — user bugs, the sancheck
+  deadlock detector) is the *hard* variant: it is delivered at every
+  rank's next runtime interaction, scheduling-dependent but immediate;
 * SHM on healthy nodes survives (see :mod:`repro.sim.shm`), which is what
   the restarted job recovers from.
 
@@ -24,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +44,9 @@ from repro.sim.observer import SimObserver
 from repro.sim.shm import ShmSegment
 from repro.sim.topology import Topology
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import SpanTracer
 
 
 class RankExit(Exception):
@@ -68,6 +77,36 @@ class JobResult:
         return self.rank_results.get(rank)
 
 
+class _SpanHandle:
+    """Context manager behind :meth:`RankContext.span`.
+
+    Reads the rank's virtual clock at enter/exit; a no-op when the job
+    carries no tracer, so instrumented protocol code costs nothing in
+    untraced runs.  An exception unwinding through the span closes it
+    with ``status="interrupted"`` — partial checkpoints stay visible.
+    """
+
+    __slots__ = ("_ctx", "_name", "_attrs")
+
+    def __init__(self, ctx: "RankContext", name: str, attrs: Dict[str, Any]):
+        self._ctx = ctx
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._ctx.job.tracer
+        if tracer is not None:
+            tracer.begin(self._ctx.rank, self._name, self._ctx.clock, self._attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._ctx.job.tracer
+        if tracer is not None:
+            status = "ok" if exc_type is None else "interrupted"
+            tracer.end(self._ctx.rank, self._ctx.clock, status)
+        return False
+
+
 class RankContext:
     """Per-rank execution context handed to the user main function."""
 
@@ -81,10 +120,16 @@ class RankContext:
 
     # -- liveness / failure delivery ------------------------------------------
     def check(self) -> None:
-        """Raise if this rank's node died or the job is aborting."""
+        """Raise if this rank's node died or a hard abort was requested.
+
+        A *failure* abort (``fail_node``) is deliberately **not** delivered
+        here: healthy ranks learn of it only inside communicator waits that
+        terminated ranks can no longer satisfy, so the point where each
+        rank dies depends on virtual program order, not thread scheduling.
+        """
         if not self.node.alive:
             raise NodeFailedError(self.node.node_id, self.clock)
-        if self.job.aborting:
+        if self.job.abort_requested:
             raise JobAbortedError(f"rank {self.rank}: job aborting")
 
     # -- virtual time -----------------------------------------------------------
@@ -126,6 +171,16 @@ class RankContext:
     @property
     def phase_log(self) -> List[str]:
         return list(self._phase_log)
+
+    # -- observability -----------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a nested, attributed span on this rank's virtual clock.
+
+        Usage: ``with ctx.span("ckpt.encode", nbytes=n): ...``.  Spans
+        nest per rank (the tracer keeps an open-span stack); with no
+        tracer attached to the job this is a no-op.
+        """
+        return _SpanHandle(self, name, attrs)
 
     # -- memory ----------------------------------------------------------------------
     def malloc(self, nbytes: int) -> None:
@@ -180,6 +235,10 @@ class Job:
         Optional :class:`~repro.sim.observer.SimObserver` receiving
         communication and blocking events from every rank — the hook the
         :mod:`repro.sancheck` race/deadlock detectors install through.
+    tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`; when set,
+        ``ctx.span(...)`` records nested virtual-time spans, and spans a
+        failure leaves open are closed as interrupted.
     """
 
     def __init__(
@@ -196,6 +255,7 @@ class Job:
         trace: Optional["Trace"] = None,
         topology: Optional["Topology"] = None,
         observer: Optional["SimObserver"] = None,
+        tracer: Optional["SpanTracer"] = None,
         name: str = "job",
     ):
         if n_ranks < 1:
@@ -211,6 +271,10 @@ class Job:
         #: optional instrumentation observer; must be set before the world
         #: communicator is built so every operation is visible to it
         self.observer = observer
+        #: optional :class:`~repro.obs.spans.SpanTracer` behind
+        #: :meth:`RankContext.span`; spans left open when a rank unwinds
+        #: are closed as interrupted in :meth:`_bootstrap`
+        self.tracer = tracer
         #: optional rack topology: point-to-point messages crossing racks
         #: pay the inter-rack bandwidth penalty
         self.topology = topology
@@ -226,6 +290,8 @@ class Job:
 
         self._abort_lock = threading.Lock()
         self._aborting = False
+        self._abort_hard = False
+        self._done_ranks: set = set()
         self._failed_nodes: List[int] = []
         self._conds: List[threading.Condition] = []
 
@@ -242,8 +308,24 @@ class Job:
         return self._aborting
 
     @property
+    def abort_requested(self) -> bool:
+        """A hard :meth:`abort` was issued (vs a node-failure abort)."""
+        return self._abort_hard
+
+    @property
     def failed_nodes(self) -> List[int]:
         return list(self._failed_nodes)
+
+    def wait_unsatisfiable(self, ranks: Sequence[int]) -> bool:
+        """True when the job is aborting and one of ``ranks`` (world ranks
+        whose progress could satisfy a blocked communicator wait) has
+        terminated.  The communicator consults this from its wait loops —
+        it is how a failure reaches healthy ranks: deterministically, via
+        the communication graph, instead of via a racy global flag."""
+        if not self._aborting:
+            return False
+        with self._abort_lock:
+            return any(r in self._done_ranks for r in ranks)
 
     def _register_cond(self, cond: threading.Condition) -> None:
         self._conds.append(cond)
@@ -265,9 +347,11 @@ class Job:
         self._wake_all()
 
     def abort(self) -> None:
-        """Abort without a node failure (MPI_Abort semantics)."""
+        """Hard abort without a node failure (MPI_Abort semantics):
+        delivered to every rank at its next runtime interaction."""
         with self._abort_lock:
             self._aborting = True
+            self._abort_hard = True
         self._wake_all()
 
     # -- execution ----------------------------------------------------------------------
@@ -290,7 +374,14 @@ class Job:
             self.abort()
         finally:
             self._clocks[rank] = ctx.clock
+            if self.tracer is not None:
+                self.tracer.close_rank(rank, ctx.clock)
             _tls.unbind()
+            # mark this rank terminated and wake blocked peers so waits
+            # that can no longer be satisfied re-evaluate and raise
+            with self._abort_lock:
+                self._done_ranks.add(rank)
+            self._wake_all()
 
     def run(self) -> JobResult:
         """Execute all ranks; block until every rank thread finishes."""

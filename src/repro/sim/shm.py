@@ -50,7 +50,7 @@ class ShmSegment:
 
     def _notify(self, kind: str) -> None:
         if self._store is not None:
-            self._store._notify(self.name, kind)
+            self._store._notify(self.name, kind, self.nbytes)
 
     def read(self) -> np.ndarray:
         """Instrumented read: report the access, return the live array."""
@@ -88,10 +88,10 @@ class ShmStore:
         #: ``on_shm`` events for every segment operation on this node
         self.observer: Optional["SimObserver"] = None
 
-    def _notify(self, name: str, kind: str) -> None:
+    def _notify(self, name: str, kind: str, nbytes: int = 0) -> None:
         obs = self.observer
         if obs is not None:
-            obs.on_shm(self.node_id, name, kind)
+            obs.on_shm(self.node_id, name, kind, nbytes)
 
     def create(
         self,
@@ -127,7 +127,7 @@ class ShmStore:
                 seg = ShmSegment(name=name, array=arr, _store=self)
                 self._segments[name] = seg
                 kind = "create"
-        self._notify(name, kind)
+        self._notify(name, kind, seg.nbytes)
         return seg
 
     def attach(self, name: str) -> ShmSegment:
@@ -136,7 +136,7 @@ class ShmStore:
             seg = self._segments.get(name)
             if seg is None:
                 raise ShmError(f"no SHM segment named {name!r}")
-        self._notify(name, "attach")
+        self._notify(name, "attach", seg.nbytes)
         return seg
 
     def exists(self, name: str) -> bool:
@@ -152,7 +152,7 @@ class ShmStore:
                     return
                 raise ShmError(f"no SHM segment named {name!r}")
             self._release(seg.nbytes)
-        self._notify(name, "unlink")
+        self._notify(name, "unlink", seg.nbytes)
 
     def clear(self) -> None:
         """Destroy everything (node power-off)."""

@@ -8,11 +8,15 @@ per-rank timeline for debugging.
 
 Phases bracket naturally: the protocols announce ``ckpt.begin`` ...
 ``ckpt.done`` and ``restore.begin`` ... ``restore.done``;
-:func:`phase_spans` pairs them up per rank.
+:func:`phase_spans` pairs them up per rank.  A ``begin`` whose ``done``
+never arrived (the phase a failure cut short) is reported too, with the
+:data:`OPEN_SPAN_DURATION` sentinel — :func:`span_stats` counts those
+separately and keeps them out of the duration aggregates.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -42,42 +46,73 @@ class Trace:
             return list(self._events)
 
     def by_rank(self, rank: int) -> List[TraceEvent]:
-        return [e for e in self.events if e.rank == rank]
+        with self._lock:
+            return [e for e in self._events if e.rank == rank]
+
+    def grouped(self) -> Dict[int, List[TraceEvent]]:
+        """All events grouped per rank in one pass under the lock —
+        renderers iterating every rank use this instead of calling
+        :meth:`by_rank` per rank (which would rescan the whole log each
+        time)."""
+        out: Dict[int, List[TraceEvent]] = {}
+        with self._lock:
+            for e in self._events:
+                out.setdefault(e.rank, []).append(e)
+        return out
 
     def labels(self) -> List[str]:
-        return sorted({e.label for e in self.events})
+        with self._lock:
+            return sorted({e.label for e in self._events})
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
 
 
+#: duration reported for a ``begin`` that never saw its ``done`` — the
+#: phase a failure interrupted; aggregate with :func:`span_stats`, which
+#: excludes these from min/mean/max and counts them under ``"open"``
+OPEN_SPAN_DURATION = float("inf")
+
+
 def phase_spans(
     trace: Trace, begin: str, end: str, rank: Optional[int] = None
 ) -> List[Tuple[int, float, float]]:
     """Pair ``begin``/``end`` announcements into (rank, start, duration)
-    spans, per rank, in order of occurrence."""
+    spans, per rank, in order of occurrence.
+
+    A ``begin`` with no matching ``end`` (the rank died mid-phase) is
+    still reported, with :data:`OPEN_SPAN_DURATION` as its duration, so
+    interrupted phases stay visible instead of silently vanishing."""
     spans: List[Tuple[int, float, float]] = []
     open_at: Dict[int, float] = {}
     for e in trace.events if rank is None else trace.by_rank(rank):
         if e.label == begin:
+            if e.rank in open_at:  # re-begin: the prior one never closed
+                spans.append((e.rank, open_at[e.rank], OPEN_SPAN_DURATION))
             open_at[e.rank] = e.clock
         elif e.label == end and e.rank in open_at:
             start = open_at.pop(e.rank)
             spans.append((e.rank, start, e.clock - start))
+    spans.extend((r, start, OPEN_SPAN_DURATION) for r, start in open_at.items())
     return sorted(spans, key=lambda s: (s[1], s[0]))
 
 
 def span_stats(spans: List[Tuple[int, float, float]]) -> Dict[str, float]:
-    """min/mean/max duration over spans (empty-safe)."""
-    if not spans:
-        return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
-    durations = [d for _, _, d in spans]
+    """min/mean/max duration over the *closed* spans (empty-safe);
+    ``"open"`` counts the :data:`OPEN_SPAN_DURATION` sentinels so callers
+    averaging live measurements are never poisoned by an interrupted
+    phase."""
+    durations = [d for _, _, d in spans if math.isfinite(d)]
+    n_open = len(spans) - len(durations)
+    if not durations:
+        return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0, "open": n_open}
     return {
         "count": len(durations),
         "min": min(durations),
         "mean": sum(durations) / len(durations),
         "max": max(durations),
+        "open": n_open,
     }
 
 
@@ -90,21 +125,22 @@ def render_timeline(
     ``focus`` marks the given ranks with ``*`` — the sanitizer tooling uses
     it to point at the ranks involved in a deadlock cycle or data race.
     """
-    events = trace.events
-    if not events:
+    per_rank = trace.grouped()  # one pass; no per-rank rescans of the log
+    if not per_rank:
         return "(empty trace)"
-    t_max = max(e.clock for e in events) or 1.0
-    ranks = sorted({e.rank for e in events})
+    t_max = max(e.clock for events in per_rank.values() for e in events) or 1.0
     marked = set(focus or ())
+    labels: set = set()
     lines = []
-    for r in ranks:
+    for r in sorted(per_rank):
         row = [" "] * width
-        for e in trace.by_rank(r):
+        for e in per_rank[r]:
             col = min(width - 1, int(e.clock / t_max * (width - 1)))
             row[col] = e.label[0] if e.label else "?"
+            labels.add(e.label)
         star = "*" if r in marked else " "
         lines.append(f"r{r:<3}{star}|{''.join(row)}|")
-    legend = ", ".join(f"{lbl[0]}={lbl}" for lbl in trace.labels()[:8])
+    legend = ", ".join(f"{lbl[0]}={lbl}" for lbl in sorted(labels)[:8])
     lines.append(f"     0 {'-' * (width - 10)} {t_max:.3g}s")
     lines.append(f"     {legend}")
     return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Exporter tests: Chrome trace round-trip, metrics JSON-lines."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_json,
+    metrics_jsonl,
+    parse_chrome_trace,
+    read_metrics_jsonl,
+    span_tree,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.scenario import run_scenario
+from repro.obs.spans import SpanTracer
+
+
+def _sample_tracer():
+    tr = SpanTracer()
+    tr.begin(0, "ckpt", 1.0, {"epoch": 0, "method": "self"})
+    tr.begin(0, "ckpt.encode", 1.25, {"nbytes": 4096})
+    tr.end(0, 1.75)
+    tr.end(0, 2.0)
+    tr.begin(1, "ckpt", 1.0, {"epoch": 0})
+    tr.close_rank(1, 1.5)  # rank 1 died mid-checkpoint
+    tr.new_incarnation(1)
+    tr.begin(1, "restore", 0.0, {"missing": 1})
+    tr.begin(1, "restore.rebuild", 0.1)
+    tr.end(1, 0.6)
+    tr.end(1, 0.7)
+    return tr
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = json.loads(chrome_trace_json(_sample_tracer().spans()))
+        assert "traceEvents" in doc
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(xs) == 5
+        # one process_name + thread_name pair per (incarnation, rank) track
+        assert len(ms) == 2 * 3
+        for e in xs:
+            assert set(e) == {"ph", "name", "cat", "pid", "tid", "ts", "dur", "args"}
+            assert e["args"]["span_id"]
+
+    def test_round_trip_same_span_tree(self):
+        spans = _sample_tracer().spans()
+        parsed = parse_chrome_trace(chrome_trace_json(spans))
+        assert span_tree(parsed) == span_tree(spans)
+        for orig, back in zip(spans, parsed):
+            assert back.span_id == orig.span_id
+            assert back.name == orig.name
+            assert back.rank == orig.rank
+            assert back.incarnation == orig.incarnation
+            assert back.status == orig.status
+            assert back.attrs == orig.attrs
+            assert abs(back.begin - orig.begin) < 1e-9
+            assert abs(back.end - orig.end) < 1e-9
+
+    def test_round_trip_through_file(self, tmp_path):
+        spans = _sample_tracer().spans()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), spans)
+        parsed = parse_chrome_trace(path.read_text())
+        assert span_tree(parsed) == span_tree(spans)
+
+    def test_scenario_round_trip(self):
+        """End-to-end golden check: a real failure run exports a trace whose
+        parse reproduces the exact span tree, interrupted spans included."""
+        run = run_scenario("skt-hpl", fail_at="panel:3", n=32, seed=7)
+        spans = run.spans
+        parsed = parse_chrome_trace(chrome_trace_json(spans))
+        assert span_tree(parsed) == span_tree(spans)
+        assert any(s.status != "ok" for s in parsed)  # the kill is visible
+        assert {s.incarnation for s in parsed} == {0, 1}
+
+    def test_export_is_deterministic(self):
+        a = chrome_trace_json(_sample_tracer().spans())
+        b = chrome_trace_json(_sample_tracer().spans())
+        assert a == b
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("mpi.bytes_sent", rank=0, cls="pt2pt").inc(100)
+        reg.gauge("job.makespan_s").set(12.5)
+        reg.histogram("mpi.blocked_s", rank=1).observe(0.25)
+        recs = read_metrics_jsonl(metrics_jsonl(reg))
+        assert len(recs) == 3
+        by_name = {r["name"]: r for r in recs}
+        assert by_name["mpi.bytes_sent"]["value"] == 100
+        assert by_name["mpi.bytes_sent"]["labels"] == {"cls": "pt2pt", "rank": 0}
+        assert by_name["job.makespan_s"]["kind"] == "gauge"
+        hist = by_name["mpi.blocked_s"]
+        assert hist["count"] == 1 and sum(hist["counts"]) == 1
+
+    def test_empty_registry(self):
+        assert metrics_jsonl(MetricsRegistry()) == ""
+        assert read_metrics_jsonl("") == []
+
+    def test_ordering_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            for r in (3, 1, 2, 0):
+                reg.counter("mpi.msgs_recv", rank=r, cls="pt2pt").inc(r)
+            reg.counter("shm.ops", node=1, kind="write").inc()
+            return metrics_jsonl(reg)
+
+        assert build() == build()

@@ -1,0 +1,134 @@
+"""Scenario runner, report, bench record and CLI tests."""
+
+import json
+
+import pytest
+
+# alias: bench_* names would otherwise be collected as benchmark functions
+from repro.obs.bench import BENCH_SCHEMA_VERSION
+from repro.obs.bench import bench_record as make_bench_record
+from repro.obs.cli import obs_main
+from repro.obs.report import (
+    aggregate_by_name,
+    critical_path,
+    rank_busy,
+    recovery_path,
+    render_report,
+)
+from repro.obs.scenario import parse_fail_at, run_scenario, write_artifacts
+
+
+class TestParseFailAt:
+    def test_alias_and_occurrence(self):
+        assert parse_fail_at("panel:3") == ("hpl.panel", 3)
+        assert parse_fail_at("encode") == ("ckpt.encode", 1)
+        assert parse_fail_at("my.phase:2") == ("my.phase", 2)
+        assert parse_fail_at(None) is None
+
+    def test_bad_occurrence(self):
+        with pytest.raises(ValueError):
+            parse_fail_at("panel:0")
+
+
+class TestScenario:
+    def test_clean_run_completes_without_restart(self):
+        run = run_scenario("skt-hpl", n=32)
+        assert run.completed and run.n_restarts == 0
+        assert run.spans
+        assert recovery_path(run.spans) == []  # nothing to recover
+
+    def test_failure_run_recovers(self):
+        run = run_scenario("skt-hpl", fail_at="panel:3", n=32)
+        assert run.completed and run.n_restarts == 1
+        names = {s.name for s in run.spans}
+        assert {"hpl.panel", "ckpt", "restore"} <= names
+        rec = recovery_path(run.spans)
+        assert rec and rec[0].name == "restore"
+        assert run.registry.total("restore.count") > 0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("nope")
+
+
+class TestReport:
+    def _spans(self):
+        return run_scenario("selfckpt", fail_at="encode:2").spans
+
+    def test_aggregate_sorted_by_total(self):
+        rows = aggregate_by_name(self._spans())
+        totals = [t for _, _, t, _, _ in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_rank_busy_only_roots(self):
+        spans = self._spans()
+        busy = rank_busy(spans)
+        assert set(busy) == {s.rank for s in spans if s.parent_id is None}
+
+    def test_critical_path_is_a_chain(self):
+        spans = self._spans()
+        chain = critical_path(spans)
+        assert chain
+        for parent, child in zip(chain, chain[1:]):
+            assert child.parent_id == parent.span_id
+
+    def test_render_report_sections(self):
+        run = run_scenario("selfckpt", fail_at="encode:2")
+        text = render_report(run.spans, run.registry)
+        assert "top spans by inclusive virtual time" in text
+        assert "per-rank busy-time imbalance" in text
+        assert "critical path" in text
+        assert "recovery critical path" in text
+        assert "message balance" in text
+
+
+class TestBenchRecord:
+    def test_record_fields(self):
+        run = run_scenario("skt-hpl", fail_at="panel:3", n=32)
+        rec = make_bench_record(run)
+        assert rec["schema"] == BENCH_SCHEMA_VERSION
+        assert rec["bench"] == "obs"
+        assert rec["completed"] is True
+        assert rec["n_restarts"] == 1
+        assert rec["traffic"]["bytes_sent"] == rec["traffic"]["bytes_recv"]
+        assert rec["traffic"]["bytes_stranded"] >= 0
+        assert rec["recovery_path"] and rec["recovery_path"][0]["name"] == "restore"
+        assert rec["failures_injected"] == 1
+        json.dumps(rec)  # must be JSON-serializable as-is
+
+
+class TestArtifactsAndCli:
+    def test_write_artifacts_deterministic(self, tmp_path):
+        outs = []
+        for sub in ("a", "b"):
+            run = run_scenario("skt-hpl", fail_at="panel:3", n=32)
+            paths = write_artifacts(run, str(tmp_path / sub))
+            outs.append(
+                {k: open(p, "rb").read() for k, p in sorted(paths.items())}
+            )
+        assert outs[0] == outs[1]
+        assert len(outs[0]) == 4
+
+    def test_cli_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        rc = obs_main(
+            [
+                "--scenario", "skt-hpl", "--fail-at", "panel:3",
+                "--n", "32", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        for name in ("trace.json", "metrics.jsonl", "report.txt", "BENCH_obs.json"):
+            assert (out / name).stat().st_size > 0
+        doc = json.loads((out / "trace.json").read_text())
+        assert doc["traceEvents"]
+        printed = capsys.readouterr().out
+        assert "recovery critical path" in printed
+        assert "wrote bench" in printed
+
+    def test_cli_report_only(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = obs_main(["--scenario", "selfckpt", "--report-only"])
+        assert rc == 0
+        assert not (tmp_path / "obs-out").exists()
+        assert "message balance" in capsys.readouterr().out

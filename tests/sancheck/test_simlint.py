@@ -159,6 +159,37 @@ class TestRecvMutate:
         assert fs == []
 
 
+class TestObsLabel:
+    def test_unregistered_span_label_flagged(self):
+        fs = lint('ctx.span("ckpt.enc0de")\n')
+        assert rules(fs) == ["obs-label"]
+        assert "SPAN_LABELS" in fs[0].message
+
+    def test_registered_span_label_clean(self):
+        assert lint('ctx.span("ckpt.encode", nbytes=8)\n') == []
+
+    def test_unregistered_metric_name_flagged(self):
+        fs = lint('reg.counter("mpi.bytes_snet", rank=0)\n')
+        assert rules(fs) == ["obs-label"]
+        assert "METRIC_NAMES" in fs[0].message
+
+    def test_registered_metric_names_clean(self):
+        src = """\
+            reg.counter("mpi.bytes_sent", rank=0)
+            reg.gauge("job.makespan_s")
+            reg.histogram("mpi.blocked_s", rank=1)
+            """
+        assert lint(src) == []
+
+    def test_dynamic_name_not_flagged(self):
+        # non-literal names are validated at runtime by the registry
+        assert lint("ctx.span(label)\nreg.counter(name, rank=0)\n") == []
+
+    def test_pragma_suppresses(self):
+        fs = lint('ctx.span("scratch")  # simlint: allow[obs-label]\n')
+        assert fs == []
+
+
 class TestTree:
     def test_repo_source_tree_is_clean(self):
         """The shipped package must satisfy its own invariants."""

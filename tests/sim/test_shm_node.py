@@ -160,7 +160,7 @@ class TestSegmentHooks:
         events = []
 
         class Spy:
-            def on_shm(self, node_id, name, kind):
+            def on_shm(self, node_id, name, kind, nbytes=0):
                 events.append((node_id, name, kind))
 
         node.shm.observer = Spy()
@@ -180,7 +180,7 @@ class TestSegmentHooks:
         events = []
 
         class Spy:
-            def on_shm(self, node_id, name, kind):
+            def on_shm(self, node_id, name, kind, nbytes=0):
                 events.append(kind)
 
         node.shm.observer = Spy()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import (
+    OPEN_SPAN_DURATION,
     Cluster,
     Job,
     Trace,
@@ -79,14 +80,40 @@ class TestSpans:
         assert stats["max"] == pytest.approx(0.75)
 
     def test_stats_empty(self):
-        assert span_stats([]) == {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        assert span_stats([]) == {
+            "count": 0,
+            "min": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+            "open": 0,
+        }
 
-    def test_unmatched_begin_ignored(self):
+    def test_unmatched_begin_reported_open(self):
         def main(ctx):
-            ctx.phase("x.begin")  # never closed
+            ctx.phase("x.begin")  # never closed (e.g. the rank died here)
 
         trace = traced_run(main, n_ranks=1)
-        assert phase_spans(trace, "x.begin", "x.done") == []
+        spans = phase_spans(trace, "x.begin", "x.done")
+        assert spans == [(0, 0.0, OPEN_SPAN_DURATION)]
+        stats = span_stats(spans)
+        assert stats["count"] == 0  # open spans never enter the aggregates
+        assert stats["open"] == 1
+
+    def test_rebegin_reports_prior_open(self):
+        def main(ctx):
+            ctx.phase("x.begin")  # interrupted: begun again without a done
+            ctx.elapse(1.0)
+            ctx.phase("x.begin")
+            ctx.elapse(0.5)
+            ctx.phase("x.done")
+
+        trace = traced_run(main, n_ranks=1)
+        spans = phase_spans(trace, "x.begin", "x.done")
+        assert (0, 0.0, OPEN_SPAN_DURATION) in spans
+        assert (0, 1.0, 0.5) in spans
+        stats = span_stats(spans)
+        assert stats["count"] == 1 and stats["open"] == 1
+        assert stats["mean"] == pytest.approx(0.5)
 
 
 class TestTimeline:
