@@ -1,0 +1,120 @@
+"""Machine-readable campaign artifact: the ``BENCH_chaos.json`` writer.
+
+One JSON record per ``repro chaos`` invocation, carrying every kill-point
+verdict, the randomized-campaign outcomes and any shrunk reproducers.
+Like ``BENCH_obs.json`` it is wall-clock-free: all times are virtual, so
+two runs with the same parameters produce byte-identical artifacts and a
+CI diff on the record reflects protocol changes, not host noise.  Virtual
+makespans are recorded at millisecond precision: with several ranks per
+node, *which* rank a node-wide kill interrupts at the same virtual
+instant is scheduler order, and the surviving ranks' sub-microsecond
+per-op epsilons differ with it — verdicts and restart counts are exact
+either way, and the rounding keeps that noise out of the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.campaign import CampaignReport
+from repro.chaos.schedules import ScheduleResult
+from repro.chaos.shrink import ShrinkResult
+from repro.sim.failures import AnyTrigger, PhaseTrigger, TimeTrigger
+
+#: bump when the record layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+
+def _trigger_record(t: AnyTrigger) -> Dict[str, Any]:
+    if isinstance(t, PhaseTrigger):
+        return {
+            "kind": "phase",
+            "node": t.node_id,
+            "phase": t.phase,
+            "occurrence": t.occurrence,
+            "rank": t.rank,
+            "extra_nodes": list(t.extra_nodes),
+        }
+    assert isinstance(t, TimeTrigger)
+    return {
+        "kind": "time",
+        "node": t.node_id,
+        "at_time_s": t.at_time,
+        "extra_nodes": list(t.extra_nodes),
+    }
+
+
+def _matrix_record(rep: CampaignReport) -> Dict[str, Any]:
+    return {
+        "scenario": rep.scenario,
+        "method": rep.method,
+        "params": dict(rep.params),
+        "baseline_makespan_s": round(rep.baseline_makespan_s, 3),
+        "n_kill_points": len(rep.results),
+        "survived_all": rep.survived_all,
+        "verdicts": rep.verdict_counts,
+        "matrix": [
+            {
+                "phase": r.point.phase,
+                "occurrence": r.point.occurrence,
+                "node": r.point.node_id,
+                "verdict": r.verdict,
+                "n_restarts": r.n_restarts,
+                "makespan_s": round(r.makespan_s, 3),
+                "gave_up_reason": r.gave_up_reason,
+                "fired": list(r.fired),
+            }
+            for r in rep.results
+        ],
+    }
+
+
+def _schedule_record(r: ScheduleResult) -> Dict[str, Any]:
+    return {
+        "index": r.index,
+        "triggers": [_trigger_record(t) for t in r.triggers],
+        "verdict": r.verdict,
+        "n_restarts": r.n_restarts,
+        "makespan_s": round(r.makespan_s, 3),
+        "gave_up_reason": r.gave_up_reason,
+        "fired": list(r.fired),
+    }
+
+
+def _shrink_record(s: ShrinkResult) -> Dict[str, Any]:
+    return {
+        "original": [_trigger_record(t) for t in s.original],
+        "minimal": [_trigger_record(t) for t in s.minimal],
+        "verdict": s.verdict,
+        "n_runs": s.n_runs,
+        "steps": list(s.steps),
+    }
+
+
+def bench_record(
+    matrices: List[CampaignReport],
+    schedules: Optional[List[ScheduleResult]] = None,
+    shrinks: Optional[List[Optional[ShrinkResult]]] = None,
+    *,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Flatten one campaign into the ``BENCH_chaos.json`` record."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": "chaos",
+        "seed": seed,
+        "survived_all": all(rep.survived_all for rep in matrices),
+        "matrices": [_matrix_record(rep) for rep in matrices],
+        "random": [_schedule_record(r) for r in schedules or []],
+        "shrinks": [_shrink_record(s) for s in shrinks or [] if s is not None],
+    }
+
+
+def bench_json(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, indent=2) + "\n"
+
+
+def write_bench(path: str, record: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(bench_json(record))

@@ -1,0 +1,317 @@
+"""The kill-matrix campaign: exhaustive phase-aimed failure injection.
+
+The paper argues informally that a node loss is survivable *at any moment*
+— mid-compute, mid-encode, mid-flush (Fig. 2 / Fig. 4 cases).  This module
+turns that claim into a machine-checkable matrix:
+
+1. :func:`probe_baseline` runs the scenario once, fault-free, with a
+   :class:`~repro.sim.trace.Trace` attached, and counts every phase
+   announcement per node — the complete set of interruption points the
+   protocol exposes.
+2. :func:`enumerate_kill_points` expands the counts into one
+   :class:`KillPoint` per ``(phase, occurrence, node)``.
+3. :func:`run_kill_point` replays the scenario under the
+   :class:`~repro.hpl.daemon.JobDaemon`, killing the node at exactly that
+   announcement, and classifies the outcome into a :class:`KillResult`
+   verdict: ``survived`` (completed and the answer oracle passed),
+   ``wrong-answer`` (completed but the oracle failed — silent corruption),
+   ``unrecoverable``, ``gave-up``, or ``not-fired`` (the trigger never
+   tripped — an enumeration mismatch, itself a red flag).
+4. :func:`run_kill_matrix` sweeps the whole matrix into a
+   :class:`CampaignReport`.
+
+Everything is deterministic: runs are driven by virtual clocks and the
+byte-identical failure delivery of the runtime, so the same scenario and
+kill point always produce the same verdict — which is what makes the
+shrinker (:mod:`repro.chaos.shrink`) sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.scenarios import ChaosScenario, ScenarioInstance
+from repro.hpl.daemon import DaemonReport, JobDaemon
+from repro.sim.errors import SimError
+from repro.sim.failures import AnyTrigger, FailurePlan, PhaseTrigger
+from repro.sim.runtime import Job
+from repro.sim.trace import Trace
+
+VERDICT_SURVIVED = "survived"
+VERDICT_WRONG_ANSWER = "wrong-answer"
+VERDICT_UNRECOVERABLE = "unrecoverable"
+VERDICT_GAVE_UP = "gave-up"
+VERDICT_NOT_FIRED = "not-fired"
+
+VERDICTS = (
+    VERDICT_SURVIVED,
+    VERDICT_WRONG_ANSWER,
+    VERDICT_UNRECOVERABLE,
+    VERDICT_GAVE_UP,
+    VERDICT_NOT_FIRED,
+)
+
+#: verdict -> registry counter name (see repro.obs.labels.METRIC_NAMES)
+_VERDICT_METRIC = {
+    VERDICT_SURVIVED: "chaos.survived",
+    VERDICT_WRONG_ANSWER: "chaos.wrong_answer",
+    VERDICT_UNRECOVERABLE: "chaos.unrecoverable",
+    VERDICT_GAVE_UP: "chaos.gave_up",
+    VERDICT_NOT_FIRED: "chaos.not_fired",
+}
+
+
+class ChaosError(RuntimeError):
+    """A campaign could not even establish its baseline."""
+
+
+@dataclass(frozen=True)
+class KillPoint:
+    """Kill ``node_id`` at the ``occurrence``-th announcement of ``phase``
+    (counted per node, matching a rankless
+    :class:`~repro.sim.failures.PhaseTrigger`)."""
+
+    phase: str
+    occurrence: int
+    node_id: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.phase}:{self.occurrence}@n{self.node_id}"
+
+
+@dataclass
+class KillResult:
+    """Outcome of one kill-point replay."""
+
+    point: KillPoint
+    verdict: str
+    n_restarts: int
+    makespan_s: float
+    gave_up_reason: Optional[str] = None
+    fired: List[str] = field(default_factory=list)
+
+
+@dataclass
+class BaselineProbe:
+    """What the fault-free reference run announced, per node."""
+
+    makespan_s: float
+    ranklist: List[int]
+    #: (node_id, phase) -> announcements over the whole fault-free run
+    phase_counts: Dict[Tuple[int, str], int]
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(set(self.ranklist))
+
+    @property
+    def phases(self) -> List[str]:
+        return sorted({phase for _, phase in self.phase_counts})
+
+
+@dataclass
+class CampaignReport:
+    """One full kill-matrix sweep for one scenario configuration."""
+
+    scenario: str
+    params: Dict[str, Any]
+    baseline_makespan_s: float
+    results: List[KillResult] = field(default_factory=list)
+
+    @property
+    def method(self) -> str:
+        return str(self.params.get("method", "?"))
+
+    @property
+    def verdict_counts(self) -> Dict[str, int]:
+        counts = {v: 0 for v in VERDICTS}
+        for r in self.results:
+            counts[r.verdict] += 1
+        return counts
+
+    @property
+    def survived_all(self) -> bool:
+        """Every kill point fired and the job survived it with the right
+        answer (``not-fired`` counts as a failure: the matrix missed)."""
+        return bool(self.results) and all(
+            r.verdict == VERDICT_SURVIVED for r in self.results
+        )
+
+    def failures(self) -> List[KillResult]:
+        return [r for r in self.results if r.verdict != VERDICT_SURVIVED]
+
+
+def probe_baseline(scenario: ChaosScenario) -> BaselineProbe:
+    """Run the scenario fault-free and collect its phase announcements.
+
+    Raises :class:`ChaosError` if the baseline itself does not complete or
+    fails its own answer oracle — a campaign over a broken baseline would
+    report noise.
+    """
+    inst = scenario.make()
+    trace = Trace()
+    job = Job(
+        inst.cluster,
+        inst.main,
+        inst.n_ranks,
+        args=inst.args,
+        procs_per_node=inst.procs_per_node,
+        trace=trace,
+        name="chaos-baseline",
+    )
+    result = job.run()
+    if not result.completed:
+        raise ChaosError(
+            f"baseline run of scenario {scenario.name!r} did not complete: "
+            f"{result.rank_errors}"
+        )
+    if not inst.check(result):
+        raise ChaosError(
+            f"baseline run of scenario {scenario.name!r} fails its own "
+            "answer oracle; fix the scenario before running campaigns"
+        )
+    counts: Dict[Tuple[int, str], int] = {}
+    ranklist = list(job.ranklist)
+    for e in trace.events:
+        key = (ranklist[e.rank], e.label)
+        counts[key] = counts.get(key, 0) + 1
+    return BaselineProbe(
+        makespan_s=result.makespan, ranklist=ranklist, phase_counts=counts
+    )
+
+
+def enumerate_kill_points(
+    probe: BaselineProbe,
+    *,
+    nodes: Optional[Sequence[int]] = None,
+    phases: Optional[Sequence[str]] = None,
+    max_occurrences: Optional[int] = None,
+) -> List[KillPoint]:
+    """Expand the probe's counts into the exhaustive kill matrix.
+
+    ``nodes``/``phases`` restrict the sweep; ``max_occurrences`` caps the
+    occurrence axis per ``(node, phase)`` for long runs.  Points are
+    ordered by (phase, node, occurrence) so reports and artifacts are
+    stable across runs.
+    """
+    sel_nodes = set(probe.nodes if nodes is None else nodes)
+    sel_phases = None if phases is None else set(phases)
+    points: List[KillPoint] = []
+    for (node, phase), count in sorted(
+        probe.phase_counts.items(), key=lambda kv: (kv[0][1], kv[0][0])
+    ):
+        if node not in sel_nodes:
+            continue
+        if sel_phases is not None and phase not in sel_phases:
+            continue
+        cap = count if max_occurrences is None else min(count, max_occurrences)
+        for occ in range(1, cap + 1):
+            points.append(KillPoint(phase=phase, occurrence=occ, node_id=node))
+    return points
+
+
+def run_with_triggers(
+    scenario: ChaosScenario, triggers: Sequence[AnyTrigger]
+) -> Tuple[ScenarioInstance, FailurePlan, DaemonReport]:
+    """Replay the scenario under the daemon with the given triggers armed.
+
+    The shared building block of the kill matrix, the randomized campaigns
+    and the shrinker: fresh instance, fresh plan, one supervised run.
+
+    A rank raising a non-simulated exception (a protocol bug tripped by
+    the injected failure) would normally propagate out of the runtime;
+    here it is itself a campaign outcome, so it is folded into a
+    ``gave-up`` report carrying the crash as the reason instead of
+    aborting the whole matrix.
+    """
+    inst = scenario.make()
+    plan = FailurePlan(list(triggers))
+    daemon = JobDaemon(
+        inst.cluster,
+        inst.main,
+        inst.n_ranks,
+        args=inst.args,
+        procs_per_node=inst.procs_per_node,
+        failure_plan=plan,
+        policy=inst.policy,
+        name="chaos",
+    )
+    try:
+        report = daemon.run()
+    except SimError as e:
+        report = DaemonReport(
+            completed=False,
+            result=None,
+            n_restarts=0,
+            gave_up_reason=f"protocol crash: {e}",
+        )
+    return inst, plan, report
+
+
+def classify(
+    inst: ScenarioInstance, plan: FailurePlan, report: DaemonReport
+) -> str:
+    """Map one supervised run onto a campaign verdict."""
+    if not plan.fired:
+        return VERDICT_NOT_FIRED
+    if report.completed:
+        assert report.result is not None
+        return (
+            VERDICT_SURVIVED if inst.check(report.result) else VERDICT_WRONG_ANSWER
+        )
+    reason = report.gave_up_reason or ""
+    if "unrecoverable" in reason:
+        return VERDICT_UNRECOVERABLE
+    return VERDICT_GAVE_UP
+
+
+def run_kill_point(scenario: ChaosScenario, point: KillPoint) -> KillResult:
+    """Replay the scenario, killing the node at exactly this announcement."""
+    trigger = PhaseTrigger(
+        node_id=point.node_id, phase=point.phase, occurrence=point.occurrence
+    )
+    inst, plan, report = run_with_triggers(scenario, [trigger])
+    return KillResult(
+        point=point,
+        verdict=classify(inst, plan, report),
+        n_restarts=report.n_restarts,
+        makespan_s=report.total_virtual_s,
+        gave_up_reason=report.gave_up_reason,
+        fired=[rec.describe() for rec in report.triggers_fired],
+    )
+
+
+def run_kill_matrix(
+    scenario: ChaosScenario,
+    *,
+    nodes: Optional[Sequence[int]] = None,
+    phases: Optional[Sequence[str]] = None,
+    max_occurrences: Optional[int] = None,
+    probe: Optional[BaselineProbe] = None,
+    registry: Any = None,
+) -> CampaignReport:
+    """Sweep the exhaustive kill matrix and report per-point verdicts.
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets the
+    campaign counters (``chaos.kill_points``, ``chaos.runs``, one counter
+    per verdict) so campaigns export through the same metrics pipeline as
+    instrumented runs.
+    """
+    probe = probe or probe_baseline(scenario)
+    points = enumerate_kill_points(
+        probe, nodes=nodes, phases=phases, max_occurrences=max_occurrences
+    )
+    results = [run_kill_point(scenario, pt) for pt in points]
+    if registry is not None:
+        registry.counter("chaos.kill_points").inc(len(points))
+        registry.counter("chaos.runs").inc(len(points) + 1)  # + baseline
+        for r in results:
+            registry.counter(_VERDICT_METRIC[r.verdict]).inc()
+    return CampaignReport(
+        scenario=scenario.name,
+        params=dict(scenario.params),
+        baseline_makespan_s=probe.makespan_s,
+        results=results,
+    )

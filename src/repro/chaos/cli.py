@@ -1,0 +1,214 @@
+"""``repro chaos`` — adversarial fault-injection campaigns from a shell.
+
+Usage::
+
+    repro chaos --smoke                         # CI-sized matrix, self+double
+    repro chaos --methods self --nodes 2 --group-size 2
+    repro chaos --scenario skt-hpl --methods self
+    repro chaos --methods self --random 8 --shrink
+
+Runs the exhaustive kill matrix for each requested method (and optionally
+a seeded randomized campaign with shrinking of any failing schedule),
+prints the survivability report, and writes ``report.txt`` +
+``BENCH_chaos.json`` into ``--out``.  Exit status 0 means every kill
+point survived and no randomized schedule produced a wrong answer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional
+
+from repro.chaos.bench import bench_record, write_bench
+from repro.chaos.campaign import (
+    VERDICT_WRONG_ANSWER,
+    probe_baseline,
+    run_kill_matrix,
+)
+from repro.chaos.report import render_campaign
+from repro.chaos.scenarios import selfckpt_scenario, skt_scenario
+from repro.chaos.schedules import RandomCampaignConfig, random_campaign
+from repro.chaos.shrink import shrink_failures
+
+SCENARIOS = ("selfckpt", "skt-hpl")
+
+
+def _build_scenario(args: argparse.Namespace, method: str):
+    if args.scenario == "selfckpt":
+        return selfckpt_scenario(
+            n_nodes=args.nodes,
+            procs_per_node=args.ppn,
+            group_size=args.group_size,
+            iters=args.iters,
+            ckpt_every=args.ckpt_every,
+            method=method,
+        )
+    p, q = args.grid
+    return skt_scenario(
+        n=args.n,
+        nb=args.nb,
+        p=p,
+        q=q,
+        group_size=args.group_size,
+        interval_panels=args.ckpt_every,
+        method=method,
+        seed=args.seed,
+        procs_per_node=args.ppn,
+    )
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Exhaustive kill-matrix and randomized failure campaigns over "
+            "the checkpoint protocols (report.txt + BENCH_chaos.json)."
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: small kill matrix over methods self and double "
+        "on a 2-ranks-per-node x 4-node cluster",
+    )
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="selfckpt",
+        help="application under fire (default: selfckpt)",
+    )
+    parser.add_argument(
+        "--methods", default="self",
+        help="comma-separated checkpoint methods to sweep (default: self)",
+    )
+    parser.add_argument("--nodes", type=int, default=4, help="compute nodes")
+    parser.add_argument(
+        "--ppn", type=int, default=2, help="ranks per node (default: 2)"
+    )
+    parser.add_argument(
+        "--group-size", type=int, default=4, help="checkpoint group size"
+    )
+    parser.add_argument(
+        "--iters", type=int, default=4, help="selfckpt iterations"
+    )
+    parser.add_argument(
+        "--ckpt-every", type=int, default=2,
+        help="checkpoint every K iterations / panels",
+    )
+    parser.add_argument("--n", type=int, default=32, help="HPL problem size")
+    parser.add_argument("--nb", type=int, default=8, help="HPL block size")
+    parser.add_argument(
+        "--grid", default="2x2", help="HPL process grid PxQ (skt-hpl)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (random schedules)"
+    )
+    parser.add_argument(
+        "--random", type=int, default=0, metavar="N",
+        help="additionally run N seeded randomized schedules",
+    )
+    parser.add_argument(
+        "--mtbf-scale", type=float, default=0.6,
+        help="random campaign per-node MTBF / baseline makespan (default 0.6)",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="shrink every failing randomized schedule to a minimal reproducer",
+    )
+    parser.add_argument(
+        "--max-occurrences", type=int, default=None,
+        help="cap the occurrence axis of the kill matrix",
+    )
+    parser.add_argument(
+        "--out", default="chaos-out", help="artifact directory (default: chaos-out)"
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print the report without writing artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        p, q = (int(v) for v in args.grid.lower().split("x"))
+        args.grid = (p, q)
+    except ValueError:
+        parser.error(f"--grid must look like PxQ, got {args.grid!r}")
+
+    if args.smoke:
+        args.scenario = "selfckpt"
+        args.methods = "self,double"
+        args.nodes, args.ppn, args.group_size = 4, 2, 4
+        args.iters, args.ckpt_every = 4, 2
+
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    from repro.ckpt.manager import METHODS
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    if not methods:
+        parser.error("--methods must name at least one checkpoint method")
+    for m in methods:
+        if m not in METHODS:
+            parser.error(
+                f"unknown checkpoint method {m!r}; choose from "
+                f"{', '.join(METHODS)}"
+            )
+
+    matrices = []
+    schedules = None
+    shrinks = None
+    for method in methods:
+        scenario = _build_scenario(args, method)
+        probe = probe_baseline(scenario)
+        matrices.append(
+            run_kill_matrix(
+                scenario,
+                probe=probe,
+                max_occurrences=args.max_occurrences,
+                registry=registry,
+            )
+        )
+        if args.random and method == methods[0]:
+            cfg = RandomCampaignConfig(
+                n_schedules=args.random,
+                seed=args.seed,
+                mtbf_scale=args.mtbf_scale,
+            )
+            schedules = random_campaign(
+                scenario, cfg, probe=probe, registry=registry
+            )
+            if args.shrink:
+                shrinks = shrink_failures(scenario, schedules, registry=registry)
+
+    text = render_campaign(matrices, schedules, shrinks)
+    print(text)
+    print()
+    print(
+        "campaign runs: "
+        f"{int(registry.total('chaos.runs'))} supervised jobs, "
+        f"{int(registry.total('chaos.kill_points'))} kill points"
+    )
+
+    if not args.report_only:
+        os.makedirs(args.out, exist_ok=True)
+        report_path = os.path.join(args.out, "report.txt")
+        with open(report_path, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        bench_path = os.path.join(args.out, "BENCH_chaos.json")
+        write_bench(
+            bench_path,
+            bench_record(matrices, schedules, shrinks, seed=args.seed),
+        )
+        print(f"wrote report: {report_path}")
+        print(f"wrote bench: {bench_path}")
+
+    ok = all(rep.survived_all for rep in matrices) and not any(
+        r.verdict == VERDICT_WRONG_ANSWER for r in schedules or []
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(chaos_main())

@@ -1,0 +1,148 @@
+"""Seeded randomized campaigns: MTBF storms, correlated and back-to-back.
+
+The kill matrix covers every *single* interruption point; this module
+covers the failure *combinations* the matrix cannot enumerate — schedules
+drawn from the per-node MTBF (repeated failures per node, see
+:meth:`~repro.sim.failures.MTBFFailureGenerator.schedule`), correlated
+``extra_nodes`` losses (rack/switch events, the RAID-6 double-fault case),
+and back-to-back failures landing inside the recovery window (a
+``restore.begin`` phase trigger that stays armed across the restart, so
+the second failure hits the recovery protocol itself).
+
+Everything derives from one campaign seed: schedule ``i`` uses seed
+``seed + i`` for both the MTBF draws and the correlation coin flips, so a
+campaign is reproducible from ``(scenario params, seed)`` alone and a
+failing schedule can be handed to the shrinker as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.chaos.campaign import (
+    ChaosScenario,
+    BaselineProbe,
+    _VERDICT_METRIC,
+    classify,
+    probe_baseline,
+    run_with_triggers,
+)
+from repro.sim.failures import (
+    AnyTrigger,
+    MTBFFailureGenerator,
+    PhaseTrigger,
+    TimeTrigger,
+)
+from repro.util.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class RandomCampaignConfig:
+    """Knobs of one randomized campaign."""
+
+    n_schedules: int = 8
+    seed: int = 0
+    #: per-node MTBF as a fraction of the fault-free makespan; below 1.0
+    #: multiple failures per run are likely
+    mtbf_scale: float = 0.6
+    #: probability a drawn failure takes a correlated second node with it
+    p_extra: float = 0.25
+    #: probability the schedule adds a back-to-back kill inside the
+    #: recovery window (fires at the first ``restore.begin`` announcement)
+    p_recovery_kill: float = 0.25
+    max_failures_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_schedules < 1:
+            raise ValueError("n_schedules must be >= 1")
+        if self.mtbf_scale <= 0:
+            raise ValueError("mtbf_scale must be > 0")
+        for p in (self.p_extra, self.p_recovery_kill):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one randomized schedule replay."""
+
+    index: int
+    triggers: List[AnyTrigger]
+    verdict: str
+    n_restarts: int
+    makespan_s: float
+    gave_up_reason: Optional[str] = None
+    fired: List[str] = field(default_factory=list)
+
+
+def generate_schedule(
+    probe: BaselineProbe, cfg: RandomCampaignConfig, schedule_seed: int
+) -> List[AnyTrigger]:
+    """One seeded failure schedule against the probed baseline."""
+    rng = seeded_rng(schedule_seed)
+    nodes = probe.nodes
+    mtbf = max(probe.makespan_s * cfg.mtbf_scale, 1e-9)
+    gen = MTBFFailureGenerator(mtbf, seed=schedule_seed)
+    drawn = gen.schedule(
+        nodes,
+        horizon_s=probe.makespan_s,
+        max_failures_per_node=cfg.max_failures_per_node,
+    )
+    triggers: List[AnyTrigger] = []
+    for t in drawn:
+        if len(nodes) > 1 and rng.random() < cfg.p_extra:
+            others = [n for n in nodes if n != t.node_id]
+            extra = int(others[int(rng.integers(len(others)))])
+            t = TimeTrigger(
+                node_id=t.node_id, at_time=t.at_time, extra_nodes=(extra,)
+            )
+        triggers.append(t)
+    if triggers and rng.random() < cfg.p_recovery_kill:
+        victim = int(nodes[int(rng.integers(len(nodes)))])
+        triggers.append(
+            PhaseTrigger(node_id=victim, phase="restore.begin", occurrence=1)
+        )
+    return triggers
+
+
+def run_schedule(
+    scenario: ChaosScenario, triggers: List[AnyTrigger], index: int = 0
+) -> ScheduleResult:
+    """Replay one schedule under the daemon and classify the outcome.
+
+    A schedule with zero triggers (the MTBF drew nothing inside the
+    horizon) is classified like any other run — typically ``not-fired``
+    with a completed job, which the campaign summary reports as vacuous
+    rather than as survival.
+    """
+    inst, plan, report = run_with_triggers(scenario, triggers)
+    return ScheduleResult(
+        index=index,
+        triggers=list(triggers),
+        verdict=classify(inst, plan, report),
+        n_restarts=report.n_restarts,
+        makespan_s=report.total_virtual_s,
+        gave_up_reason=report.gave_up_reason,
+        fired=[rec.describe() for rec in report.triggers_fired],
+    )
+
+
+def random_campaign(
+    scenario: ChaosScenario,
+    cfg: RandomCampaignConfig,
+    *,
+    probe: Optional[BaselineProbe] = None,
+    registry: Any = None,
+) -> List[ScheduleResult]:
+    """Run ``cfg.n_schedules`` seeded schedules; same seed, same verdicts."""
+    probe = probe or probe_baseline(scenario)
+    results = []
+    for i in range(cfg.n_schedules):
+        triggers = generate_schedule(probe, cfg, cfg.seed + i)
+        results.append(run_schedule(scenario, triggers, index=i))
+    if registry is not None:
+        registry.counter("chaos.runs").inc(len(results) + 1)  # + baseline
+        for r in results:
+            registry.counter(_VERDICT_METRIC[r.verdict]).inc()
+    return results

@@ -45,10 +45,15 @@ def expected_runtime(
     """First-order expected completion time of ``work_s`` of computation
     with periodic checkpoints under exponential failures — used by the
     interval-ablation benchmark to rank candidate intervals."""
-    if min(work_s, delta_s, interval_s, mtbf_s) <= 0 or restart_s < 0:
-        raise ValueError("all durations must be positive")
+    if min(work_s, delta_s, interval_s, mtbf_s) <= 0:
+        raise ValueError("work, delta, interval and MTBF must be positive")
+    if restart_s < 0:
+        raise ValueError("restart_s must be >= 0")
     n_ckpt = max(1.0, work_s / interval_s)
     base = work_s + n_ckpt * delta_s
-    # expected lost work per failure: half an interval plus restart
+    # expected lost work per failure: half an interval plus restart; a
+    # failure can never lose more than the whole (shorter-than-interval)
+    # run, so the term is clamped to half the total work
     failures = base / mtbf_s
-    return base + failures * (interval_s / 2.0 + delta_s + restart_s)
+    lost_s = min(interval_s, work_s) / 2.0
+    return base + failures * (lost_s + delta_s + restart_s)

@@ -69,8 +69,9 @@ class CheckpointManager:
         page_bytes: int = 4096,
         undo_fraction: float = 1.0,
         topology=None,
+        protocol_factory=None,
     ):
-        if method not in METHODS:
+        if method not in METHODS and protocol_factory is None:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         self.ctx = ctx
         self.world = world
@@ -96,7 +97,12 @@ class CheckpointManager:
             grank = self.group_layout.group_rank_of(me)
             self.group = world.split(color=gid, key=grank)
             kwargs = dict(op=op, prefix=f"{prefix}.g{gid}", a2_capacity=a2_capacity)
-            if method == "self":
+            if protocol_factory is not None:
+                # escape hatch for harnesses (e.g. repro.chaos regression
+                # tests) that must run a custom — even deliberately broken —
+                # protocol variant through the standard grouping machinery
+                self._impl = protocol_factory(ctx, self.group, **kwargs)
+            elif method == "self":
                 self._impl = SelfCheckpoint(ctx, self.group, **kwargs)
             elif method == "self-rs":
                 self._impl = SelfCheckpointRS(ctx, self.group, **kwargs)

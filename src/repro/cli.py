@@ -8,6 +8,7 @@ Usage::
     python -m repro all          # everything (slow: live power-off checks)
     python -m repro check --all  # sanitizer suite (lint, races, deadlock)
     python -m repro obs --scenario skt-hpl --fail-at panel:3  # profile run
+    python -m repro chaos --smoke                # kill-matrix campaign
 
 Each target prints the same ASCII table the corresponding benchmark emits;
 ``check`` delegates to the :mod:`repro.sancheck` suite and exits non-zero
@@ -179,6 +180,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.chaos.cli import chaos_main
+
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,9 +194,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["list", "all", "check", "obs"],
+        choices=sorted(TARGETS) + ["list", "all", "check", "obs", "chaos"],
         help="which experiment to run ('check' = sanitizer suite, "
-        "'obs' = instrumented profile run)",
+        "'obs' = instrumented profile run, 'chaos' = fault-injection "
+        "campaign)",
     )
     args = parser.parse_args(argv)
 

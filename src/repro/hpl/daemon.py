@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sim.cluster import Cluster
 from repro.sim.errors import SimError, UnrecoverableError
-from repro.sim.failures import FailurePlan
+from repro.sim.failures import FailurePlan, FiredTrigger
 from repro.sim.runtime import Job, JobResult
 from repro.sim.trace import Trace
 
@@ -61,6 +61,10 @@ class CycleRecord:
     detect_s: float
     replace_s: float
     restart_s: float
+    #: provenance of the triggers that fired during this attempt (which
+    #: announcement/clock advance killed which node) — campaign reports
+    #: attribute injected failures through these
+    fired: List[FiredTrigger] = field(default_factory=list)
 
 
 @dataclass
@@ -73,10 +77,18 @@ class DaemonReport:
     cycles: List[CycleRecord] = field(default_factory=list)
     total_virtual_s: float = 0.0
     gave_up_reason: Optional[str] = None
+    #: per-attempt trigger provenance, one entry per incarnation (the
+    #: final — possibly successful — attempt included)
+    attempt_fired: List[List[FiredTrigger]] = field(default_factory=list)
 
     @property
     def downtime_s(self) -> float:
         return sum(c.detect_s + c.replace_s + c.restart_s for c in self.cycles)
+
+    @property
+    def triggers_fired(self) -> List[FiredTrigger]:
+        """All fired-trigger provenance records across every attempt."""
+        return [rec for attempt in self.attempt_fired for rec in attempt]
 
 
 class JobDaemon:
@@ -97,6 +109,7 @@ class JobDaemon:
         trace: Optional["Trace"] = None,
         observer: Optional["SimObserver"] = None,
         tracer: Optional["SpanTracer"] = None,
+        attempt_hook: Optional[Callable[[int, JobResult], None]] = None,
         name: str = "daemon",
     ):
         self.cluster = cluster
@@ -118,6 +131,10 @@ class JobDaemon:
         #: its incarnation index per attempt so restarted spans land on
         #: separate trace tracks
         self.tracer = tracer
+        #: optional campaign hook called after every attempt with
+        #: ``(attempt_index, JobResult)`` — the chaos engine uses it to
+        #: watch a supervised run without wrapping the daemon
+        self.attempt_hook = attempt_hook
         if ranklist is None:
             ranklist = cluster.default_ranklist(n_ranks, procs_per_node=procs_per_node)
         self.ranklist: List[int] = list(ranklist)
@@ -142,9 +159,24 @@ class JobDaemon:
                 tracer=self.tracer,
                 name=f"{self.name}#{attempt}",
             )
+            fired_before = len(self.failure_plan.fired_records)
             result = job.run()
+            # record order: rank threads appending concurrently at the same
+            # virtual time would otherwise leak scheduler order into reports
+            attempt_fired = sorted(
+                self.failure_plan.fired_records[fired_before:],
+                key=lambda r: (
+                    r.clock,
+                    r.node_id,
+                    r.phase or "",
+                    -1 if r.rank is None else r.rank,
+                ),
+            )
+            report.attempt_fired.append(attempt_fired)
             report.total_virtual_s += result.makespan
             report.result = result
+            if self.attempt_hook is not None:
+                self.attempt_hook(attempt, result)
 
             if result.completed:
                 report.completed = True
@@ -176,6 +208,7 @@ class JobDaemon:
                 detect_s=self.policy.detect_s,
                 replace_s=self.policy.replace_s,
                 restart_s=self.policy.restart_s,
+                fired=attempt_fired,
             )
             report.cycles.append(cycle)
             report.total_virtual_s += (

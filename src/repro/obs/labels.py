@@ -65,6 +65,16 @@ METRIC_NAMES = frozenset(
         "ckpt.count",
         "ckpt.bytes_encoded",
         "restore.count",
+        # chaos campaign engine (src/repro/chaos): per-campaign verdict
+        # accounting — kill_points counts matrix cells, runs counts every
+        # supervised job the engine launched (matrix + random + shrink)
+        "chaos.kill_points",
+        "chaos.runs",
+        "chaos.survived",
+        "chaos.wrong_answer",
+        "chaos.unrecoverable",
+        "chaos.gave_up",
+        "chaos.not_fired",
     }
 )
 

@@ -22,6 +22,7 @@ from repro.sim.shm import ShmSegment, ShmStore
 from repro.sim.cluster import Cluster
 from repro.sim.failures import (
     FailurePlan,
+    FiredTrigger,
     MTBFFailureGenerator,
     PhaseTrigger,
     TimeTrigger,
@@ -54,6 +55,7 @@ __all__ = [
     "ShmStore",
     "Cluster",
     "FailurePlan",
+    "FiredTrigger",
     "TimeTrigger",
     "PhaseTrigger",
     "MTBFFailureGenerator",

@@ -5,18 +5,25 @@ moments — mid-computation (Fig. 2 CASE 1), while calculating a new checksum
 (Fig. 4 CASE 1), and while flushing the new checkpoint (Fig. 4 CASE 2).
 Phase triggers let tests aim a failure at exactly those protocol steps:
 rank code announces named phases via ``ctx.phase(name)`` and a trigger fires
-on the k-th announcement by any rank on the doomed node.
+on the k-th announcement, counted per node — or, with ``rank=`` set, per
+that specific rank (see :class:`PhaseTrigger`).
 
 Time triggers fire when a rank on the node advances its virtual clock past
 the deadline.  The MTBF generator draws exponential inter-failure times to
-build whole failure schedules for reliability sweeps.
+build whole failure schedules — *repeated* failures per node up to the
+horizon — for reliability sweeps and the :mod:`repro.chaos` campaigns.
+
+Every fired trigger leaves a :class:`FiredTrigger` provenance record
+(which rank tripped it, at what virtual clock, at which count) so campaign
+reports can attribute each injected failure to the exact announcement that
+caused it.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.util.rng import seeded_rng
 
@@ -45,10 +52,20 @@ class TimeTrigger:
 @dataclass
 class PhaseTrigger:
     """Power off ``node_id`` on the ``occurrence``-th announcement of
-    ``phase`` by any rank running on that node.
+    ``phase``.
 
-    ``rank`` optionally restricts matching to one specific rank's
-    announcements, which makes multi-rank-per-node tests deterministic.
+    With ``rank=None`` (the default) announcements are counted per
+    ``(node, phase)``: the trigger fires on the ``occurrence``-th
+    announcement of ``phase`` by *any* rank running on that node.
+
+    With ``rank`` set, announcements are counted per
+    ``(node, phase, rank)``: ``occurrence=k`` means the k-th announcement
+    *by that rank*, regardless of how many times other ranks on the same
+    node announced the phase first — which is what makes
+    multi-rank-per-node tests deterministic.  (Earlier revisions counted
+    node-wide even when ``rank`` was set, so a rank-restricted trigger
+    could fire on the wrong announcement; see ``FailurePlan.check_phase``.)
+
     ``extra_nodes`` die at the same instant as ``node_id``.
     """
 
@@ -67,27 +84,80 @@ class PhaseTrigger:
         return (self.node_id, *self.extra_nodes)
 
 
+AnyTrigger = Union[TimeTrigger, PhaseTrigger]
+
+
+@dataclass(frozen=True)
+class FiredTrigger:
+    """Provenance of one fired trigger.
+
+    ``count`` is the occurrence count that tripped a phase trigger (None
+    for time triggers); ``rank`` is the announcing/advancing rank when the
+    runtime supplied it.  Campaign reports (:mod:`repro.chaos`) use these
+    to attribute each injected failure to the exact announcement that
+    caused it.
+    """
+
+    trigger: AnyTrigger
+    node_id: int
+    clock: float
+    rank: Optional[int] = None
+    phase: Optional[str] = None
+    count: Optional[int] = None
+
+    def describe(self) -> str:
+        """One-line human summary for reports.
+
+        Deterministic across replays: the announcing rank is named only
+        for rank-restricted triggers.  For a node-wide trigger with
+        several ranks per node, *which* rank's same-instant announcement
+        trips the count is scheduler order — naming it would leak thread
+        interleaving into otherwise byte-stable campaign artifacts.
+        """
+        if isinstance(self.trigger, PhaseTrigger):
+            who = (
+                f" (announced by rank {self.rank})"
+                if self.trigger.rank is not None
+                else ""
+            )
+            return (
+                f"node {self.node_id} killed at phase {self.phase!r} "
+                f"count {self.count}{who}, t={self.clock:.3f}s"
+            )
+        return f"node {self.node_id} killed at t={self.clock:.3f}s (time trigger)"
+
+
 class FailurePlan:
     """A set of pending triggers consulted by the runtime.
 
     Thread-safe; each trigger fires at most once.  The runtime calls
     :meth:`check_time` on every clock advance and :meth:`check_phase` on
     every phase announcement, and powers off the returned node ids.
+
+    The plan is shared across job incarnations (the daemon re-arms
+    nothing): phase counts keep accumulating over restarts, and triggers
+    that have not fired stay armed.  :attr:`fired` lists the fired
+    triggers in firing order; :attr:`fired_records` carries the matching
+    :class:`FiredTrigger` provenance.
     """
 
     def __init__(
         self,
-        triggers: Optional[List[TimeTrigger | PhaseTrigger]] = None,
+        triggers: Optional[List[AnyTrigger]] = None,
     ):
         self._lock = threading.Lock()
         self._time_triggers: List[TimeTrigger] = []
         self._phase_triggers: List[PhaseTrigger] = []
-        self._phase_counts: Dict[Tuple[int, str], int] = {}
-        self.fired: List[TimeTrigger | PhaseTrigger] = []
+        #: announcement counts keyed by ``(node, phase, rank_or_None)``;
+        #: the ``None`` slot is the node-wide count, the rank slots are
+        #: what rank-restricted triggers consult
+        self._phase_counts: Dict[Tuple[int, str, Optional[int]], int] = {}
+        self.fired: List[AnyTrigger] = []
+        self.fired_records: List[FiredTrigger] = []
         for t in triggers or []:
             self.add(t)
 
-    def add(self, trigger: TimeTrigger | PhaseTrigger) -> None:
+    def add(self, trigger: AnyTrigger) -> None:
         with self._lock:
             if isinstance(trigger, TimeTrigger):
                 self._time_triggers.append(trigger)
@@ -101,33 +171,79 @@ class FailurePlan:
         with self._lock:
             return not self._time_triggers and not self._phase_triggers
 
-    def check_time(self, node_id: int, now: float) -> Optional[TimeTrigger]:
+    def pending(self) -> List[AnyTrigger]:
+        """Triggers that have not fired yet (time first, then phase)."""
+        with self._lock:
+            return [*self._time_triggers, *self._phase_triggers]
+
+    def phase_count(
+        self, node_id: int, phase: str, rank: Optional[int] = None
+    ) -> int:
+        """Announcements of ``phase`` seen so far on ``node_id`` (node-wide
+        with ``rank=None``, or by one specific rank)."""
+        with self._lock:
+            return self._phase_counts.get((node_id, phase, rank), 0)
+
+    def check_time(
+        self, node_id: int, now: float, rank: Optional[int] = None
+    ) -> Optional[TimeTrigger]:
         """The fired trigger if one for ``node_id`` has come due at ``now``."""
         with self._lock:
             for t in self._time_triggers:
                 if t.node_id == node_id and now >= t.at_time:
                     self._time_triggers.remove(t)
                     self.fired.append(t)
+                    self.fired_records.append(
+                        FiredTrigger(
+                            trigger=t, node_id=node_id, clock=now, rank=rank
+                        )
+                    )
                     return t
             return None
 
     def check_phase(
-        self, node_id: int, rank: int, phase: str
+        self, node_id: int, rank: int, phase: str, clock: float = 0.0
     ) -> Optional[PhaseTrigger]:
-        """Record a phase announcement; returns the tripped trigger if any."""
+        """Record a phase announcement; returns the tripped trigger if any.
+
+        Counting is exact (``count == occurrence``), not a threshold: a
+        trigger armed *after* its target count has already passed stays
+        silent instead of firing on the next unrelated announcement.
+        Node-wide triggers consult the ``(node, phase)`` count;
+        rank-restricted triggers consult the announcing rank's own
+        ``(node, phase, rank)`` count, so ``occurrence=k`` always means
+        the k-th announcement by that rank even when other ranks on the
+        node announce the same phase first.
+        """
         with self._lock:
-            key = (node_id, phase)
-            self._phase_counts[key] = self._phase_counts.get(key, 0) + 1
-            count = self._phase_counts[key]
+            node_key = (node_id, phase, None)
+            rank_key = (node_id, phase, rank)
+            self._phase_counts[node_key] = self._phase_counts.get(node_key, 0) + 1
+            self._phase_counts[rank_key] = self._phase_counts.get(rank_key, 0) + 1
+            node_count = self._phase_counts[node_key]
+            rank_count = self._phase_counts[rank_key]
             for t in self._phase_triggers:
-                if (
-                    t.node_id == node_id
-                    and t.phase == phase
-                    and count >= t.occurrence
-                    and (t.rank is None or t.rank == rank)
-                ):
+                if t.node_id != node_id or t.phase != phase:
+                    continue
+                if t.rank is None:
+                    count = node_count
+                elif t.rank == rank:
+                    count = rank_count
+                else:
+                    continue
+                if count == t.occurrence:
                     self._phase_triggers.remove(t)
                     self.fired.append(t)
+                    self.fired_records.append(
+                        FiredTrigger(
+                            trigger=t,
+                            node_id=node_id,
+                            clock=clock,
+                            rank=rank,
+                            phase=phase,
+                            count=count,
+                        )
+                    )
                     return t
             return None
 
@@ -136,8 +252,9 @@ class MTBFFailureGenerator:
     """Draws node failure times from an exponential distribution.
 
     ``mtbf_node_s`` is the per-node mean time between failures; system MTBF
-    is ``mtbf_node_s / n_nodes``.  Used by the reliability analyses and the
-    long-running failure-storm integration tests.
+    is ``mtbf_node_s / n_nodes``.  Used by the reliability analyses, the
+    long-running failure-storm integration tests, and the randomized
+    :mod:`repro.chaos` campaigns.
     """
 
     def __init__(self, mtbf_node_s: float, seed: int = 0):
@@ -150,14 +267,33 @@ class MTBFFailureGenerator:
         """One exponential failure time for a single node."""
         return float(self._rng.exponential(self.mtbf_node_s))
 
-    def schedule(self, node_ids: List[int], horizon_s: float) -> List[TimeTrigger]:
-        """First failure (if any) of each node within ``horizon_s``."""
+    def schedule(
+        self,
+        node_ids: List[int],
+        horizon_s: float,
+        *,
+        max_failures_per_node: int = 8,
+    ) -> List[TimeTrigger]:
+        """Every failure of each node within ``horizon_s``.
+
+        Inter-failure gaps are drawn per node until the accumulated time
+        leaves the horizon (a failed-and-replaced node slot can fail
+        again), capped at ``max_failures_per_node`` draws so a tiny MTBF
+        cannot produce an unbounded schedule.  Earlier revisions kept only
+        the first draw per node, which under-counted late-run failures in
+        the endurance benchmarks.
+        """
+        if max_failures_per_node < 1:
+            raise ValueError("max_failures_per_node must be >= 1")
         triggers = []
         for nid in node_ids:
-            t = self.draw_failure_time()
-            if t <= horizon_s:
+            t = 0.0
+            for _ in range(max_failures_per_node):
+                t += self.draw_failure_time()
+                if t > horizon_s:
+                    break
                 triggers.append(TimeTrigger(node_id=nid, at_time=t))
-        return sorted(triggers, key=lambda t: t.at_time)
+        return sorted(triggers, key=lambda t: (t.at_time, t.node_id))
 
     def system_mtbf(self, n_nodes: int) -> float:
         """MTBF of an ``n_nodes`` system (minimum of exponentials)."""

@@ -139,7 +139,9 @@ class RankContext:
             raise ValueError("cannot elapse negative time")
         self.check()
         self.clock += seconds
-        trigger = self.job.failure_plan.check_time(self.node.node_id, self.clock)
+        trigger = self.job.failure_plan.check_time(
+            self.node.node_id, self.clock, rank=self.rank
+        )
         if trigger is not None:
             for nid in trigger.all_nodes:
                 self.job.fail_node(nid, when=self.clock)
@@ -161,7 +163,7 @@ class RankContext:
         if self.job.trace is not None:
             self.job.trace.record(self.rank, self.clock, name)
         trigger = self.job.failure_plan.check_phase(
-            self.node.node_id, self.rank, name
+            self.node.node_id, self.rank, name, clock=self.clock
         )
         if trigger is not None:
             for nid in trigger.all_nodes:

@@ -163,6 +163,24 @@ class TestInterval:
         with pytest.raises(ValueError):
             expected_runtime(0, 1, 1, 1, 1)
 
+    def test_restart_zero_allowed(self):
+        # in-memory restart can be effectively free; only negative is invalid
+        assert expected_runtime(100.0, 1.0, 10.0, 1000.0, 0.0) > 100.0
+        with pytest.raises(ValueError, match="restart_s"):
+            expected_runtime(100.0, 1.0, 10.0, 1000.0, -1.0)
+
+    def test_lost_work_clamped_to_total_work(self):
+        """An interval longer than the job cannot lose more than the job:
+        the per-failure lost-work term saturates at work/2, so stretching
+        the interval further must not keep inflating the estimate."""
+        work, delta, mtbf, restart = 100.0, 1.0, 200.0, 5.0
+        r_long = expected_runtime(work, delta, work * 10, mtbf, restart)
+        r_longer = expected_runtime(work, delta, work * 1000, mtbf, restart)
+        assert r_long == pytest.approx(r_longer)
+        base = work + delta  # one checkpoint at interval >= work
+        lost = base / mtbf * (work / 2.0 + delta + restart)
+        assert r_long == pytest.approx(base + lost)
+
     def test_expected_runtime_minimized_near_optimum(self):
         """The Young interval should beat much shorter and longer ones."""
         work, delta, mtbf, restart = 36000.0, 10.0, 3600.0, 60.0

@@ -5,6 +5,7 @@ import pytest
 from repro.sim import (
     Cluster,
     FailurePlan,
+    Job,
     MTBFFailureGenerator,
     NodeSpec,
     PhaseTrigger,
@@ -115,6 +116,78 @@ class TestTriggers:
         assert not FailurePlan([TimeTrigger(0, 1.0)]).empty
 
 
+class TestRankScopedTriggers:
+    """Rank-scoped phase triggers count the *target rank's* announcements,
+    not the node-wide total (the historical misfire: with several ranks per
+    node, another rank's announcements advanced the count and the trigger
+    fired on the wrong rank's phase, or early)."""
+
+    def test_non_target_rank_does_not_advance_count(self):
+        plan = FailurePlan(
+            [PhaseTrigger(node_id=0, phase="p", rank=1, occurrence=2)]
+        )
+        assert not plan.check_phase(0, 0, "p")  # rank 0 announces first
+        assert not plan.check_phase(0, 1, "p")  # rank 1's 1st
+        assert not plan.check_phase(0, 0, "p")  # rank 0 again
+        assert plan.check_phase(0, 1, "p")  # rank 1's 2nd -> fires
+
+    def test_rank_scoped_ignores_high_node_wide_count(self):
+        # node-wide count far past the occurrence before the target rank
+        # ever announces: the trigger must wait for the rank's own 1st
+        plan = FailurePlan([PhaseTrigger(node_id=0, phase="p", rank=2)])
+        for _ in range(5):
+            assert not plan.check_phase(0, 0, "p")
+        assert plan.check_phase(0, 2, "p")
+        assert plan.fired_records[0].rank == 2
+        assert plan.fired_records[0].count == 1
+
+    def test_node_wide_trigger_counts_all_ranks(self):
+        plan = FailurePlan([PhaseTrigger(node_id=0, phase="p", occurrence=3)])
+        assert not plan.check_phase(0, 0, "p")
+        assert not plan.check_phase(0, 1, "p")
+        assert plan.check_phase(0, 2, "p")  # 3rd announcement on the node
+
+    def test_fired_record_provenance(self):
+        plan = FailurePlan([PhaseTrigger(node_id=3, phase="ckpt.flush")])
+        plan.check_phase(3, 1, "ckpt.flush", clock=7.5)
+        (rec,) = plan.fired_records
+        assert rec.node_id == 3
+        assert rec.phase == "ckpt.flush"
+        assert rec.rank == 1
+        assert rec.clock == 7.5
+        assert "ckpt.flush" in rec.describe()
+
+    def test_phase_count_helper(self):
+        plan = FailurePlan()
+        plan.check_phase(0, 0, "p")
+        plan.check_phase(0, 1, "p")
+        assert plan.phase_count(0, "p") == 2
+        assert plan.phase_count(0, "p", rank=1) == 1
+        assert plan.phase_count(0, "p", rank=9) == 0
+
+    def test_rank_scoped_in_multirank_job(self):
+        """Integration: two ranks per node; the non-target rank announces
+        the phase first (earlier virtual time) yet the trigger kills the
+        node only at the target rank's own announcement."""
+        plan = FailurePlan(
+            [PhaseTrigger(node_id=0, phase="work", rank=1, occurrence=1)]
+        )
+        cl = Cluster(2, NodeSpec(cores=2))
+
+        def main(ctx):
+            if ctx.rank == 1:
+                ctx.elapse(0.5)  # the target rank announces last
+            ctx.phase("work")
+            ctx.elapse(1.0)
+
+        result = Job(cl, main, 4, failure_plan=plan, procs_per_node=2).run()
+        assert not result.completed
+        assert result.failed_nodes == [0]
+        (rec,) = plan.fired_records
+        assert rec.rank == 1
+        assert rec.clock == pytest.approx(0.5)
+
+
 class TestMTBF:
     def test_deterministic_with_seed(self):
         a = MTBFFailureGenerator(1000.0, seed=3).draw_failure_time()
@@ -139,3 +212,30 @@ class TestMTBF:
     def test_validation(self):
         with pytest.raises(ValueError):
             MTBFFailureGenerator(0)
+
+    def test_repeated_failures_per_node(self):
+        """A horizon spanning many MTBFs draws *several* failures per node
+        (the historical bug: one draw per node, silently understating the
+        failure rate for long runs)."""
+        gen = MTBFFailureGenerator(10.0, seed=5)
+        trig = gen.schedule([0, 1], horizon_s=100.0)
+        per_node = {n: sum(1 for t in trig if t.node_id == n) for n in (0, 1)}
+        assert all(c >= 2 for c in per_node.values())
+
+    def test_max_failures_per_node_cap(self):
+        gen = MTBFFailureGenerator(1.0, seed=5)
+        trig = gen.schedule([0, 1, 2], horizon_s=1000.0, max_failures_per_node=3)
+        for n in (0, 1, 2):
+            assert sum(1 for t in trig if t.node_id == n) == 3
+
+    def test_per_node_times_strictly_increase(self):
+        gen = MTBFFailureGenerator(5.0, seed=9)
+        trig = gen.schedule([0], horizon_s=60.0)
+        times = [t.at_time for t in trig]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_schedule_deterministic(self):
+        a = MTBFFailureGenerator(10.0, seed=4).schedule([0, 1], horizon_s=80.0)
+        b = MTBFFailureGenerator(10.0, seed=4).schedule([0, 1], horizon_s=80.0)
+        assert a == b
