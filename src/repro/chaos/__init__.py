@@ -38,7 +38,9 @@ from repro.chaos.campaign import (
     VERDICTS,
     classify,
     enumerate_kill_points,
+    point_trigger,
     probe_baseline,
+    replay_kill_points,
     run_kill_matrix,
     run_kill_point,
     run_with_triggers,
@@ -92,8 +94,10 @@ __all__ = [
     "classify",
     "enumerate_kill_points",
     "generate_schedule",
+    "point_trigger",
     "probe_baseline",
     "random_campaign",
+    "replay_kill_points",
     "render_campaign",
     "render_failures",
     "render_matrix",

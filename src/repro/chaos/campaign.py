@@ -33,6 +33,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.scenarios import ChaosScenario, ScenarioInstance
 from repro.hpl.daemon import DaemonReport, JobDaemon
+from repro.par.cache import replay_fingerprint
+from repro.par.engine import ParallelEngine
+from repro.par.replay import (
+    ReplayOutcome,
+    ReplaySpec,
+    crash_outcome,
+    replay,
+    replay_scenario,
+)
 from repro.sim.errors import SimError
 from repro.sim.failures import AnyTrigger, FailurePlan, PhaseTrigger
 from repro.sim.runtime import Job
@@ -267,20 +276,71 @@ def classify(
     return VERDICT_GAVE_UP
 
 
-def run_kill_point(scenario: ChaosScenario, point: KillPoint) -> KillResult:
-    """Replay the scenario, killing the node at exactly this announcement."""
-    trigger = PhaseTrigger(
+def point_trigger(point: KillPoint) -> PhaseTrigger:
+    """The phase trigger that kills exactly at this matrix point."""
+    return PhaseTrigger(
         node_id=point.node_id, phase=point.phase, occurrence=point.occurrence
     )
-    inst, plan, report = run_with_triggers(scenario, [trigger])
+
+
+def _kill_result(point: KillPoint, outcome: ReplayOutcome) -> KillResult:
     return KillResult(
         point=point,
-        verdict=classify(inst, plan, report),
-        n_restarts=report.n_restarts,
-        makespan_s=report.total_virtual_s,
-        gave_up_reason=report.gave_up_reason,
-        fired=[rec.describe() for rec in report.triggers_fired],
+        verdict=outcome.verdict,
+        n_restarts=outcome.n_restarts,
+        makespan_s=outcome.makespan_s,
+        gave_up_reason=outcome.gave_up_reason,
+        fired=list(outcome.fired),
     )
+
+
+def run_kill_point(scenario: ChaosScenario, point: KillPoint) -> KillResult:
+    """Replay the scenario, killing the node at exactly this announcement."""
+    outcome = replay_scenario(scenario, (point_trigger(point),))
+    return _kill_result(point, outcome)
+
+
+def replay_kill_points(
+    scenario: ChaosScenario,
+    points: Sequence[KillPoint],
+    *,
+    workers: int = 1,
+    cache: Any = None,
+    registry: Any = None,
+    progress: Any = None,
+) -> List[KillResult]:
+    """Replay every kill point, optionally fanned out over worker processes.
+
+    With ``workers > 1`` the replays run in a :class:`ParallelEngine`
+    pool and are merged back in canonical point order, so the result list
+    — and every artifact derived from it — is byte-identical to the
+    serial sweep.  ``cache`` (a :class:`~repro.par.cache.MemoCache`)
+    skips points whose fingerprint was already classified.  A replay that
+    raises is folded into its own ``gave-up`` result rather than aborting
+    the matrix.
+    """
+    engine = ParallelEngine(workers, registry=registry, progress=progress)
+    if scenario.spec is None:
+        if engine.workers > 1:
+            raise ChaosError(
+                f"scenario {scenario.name!r} has no pickleable spec "
+                "(custom factory/protocol closure); run it with workers=1"
+            )
+        outcomes = engine.map(
+            lambda pt: replay_scenario(scenario, (point_trigger(pt),)),
+            points,
+            on_error=crash_outcome,
+        )
+        return [_kill_result(pt, out) for pt, out in zip(points, outcomes)]
+    specs = [ReplaySpec(scenario.spec, (point_trigger(pt),)) for pt in points]
+    outcomes = engine.map(
+        replay,
+        specs,
+        cache=cache,
+        key=replay_fingerprint,
+        on_error=crash_outcome,
+    )
+    return [_kill_result(pt, out) for pt, out in zip(points, outcomes)]
 
 
 def run_kill_matrix(
@@ -291,19 +351,36 @@ def run_kill_matrix(
     max_occurrences: Optional[int] = None,
     probe: Optional[BaselineProbe] = None,
     registry: Any = None,
+    workers: int = 1,
+    cache: Any = None,
+    progress: Any = None,
 ) -> CampaignReport:
     """Sweep the exhaustive kill matrix and report per-point verdicts.
 
     ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets the
     campaign counters (``chaos.kill_points``, ``chaos.runs``, one counter
     per verdict) so campaigns export through the same metrics pipeline as
-    instrumented runs.
+    instrumented runs.  ``chaos.runs`` counts *resolved* replays — cache
+    hits included — so campaign reports stay independent of cache state;
+    the engine's ``par.cache_hits``/``par.cache_misses`` counters say how
+    many actually executed.
+
+    ``workers``/``cache``/``progress`` fan the sweep out over the
+    :mod:`repro.par` engine; verdicts, ordering and artifacts are
+    byte-identical to the serial run regardless of worker count.
     """
     probe = probe or probe_baseline(scenario)
     points = enumerate_kill_points(
         probe, nodes=nodes, phases=phases, max_occurrences=max_occurrences
     )
-    results = [run_kill_point(scenario, pt) for pt in points]
+    results = replay_kill_points(
+        scenario,
+        points,
+        workers=workers,
+        cache=cache,
+        registry=registry,
+        progress=progress,
+    )
     if registry is not None:
         registry.counter("chaos.kill_points").inc(len(points))
         registry.counter("chaos.runs").inc(len(points) + 1)  # + baseline

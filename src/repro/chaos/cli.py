@@ -3,15 +3,24 @@
 Usage::
 
     repro chaos --smoke                         # CI-sized matrix, self+double
+    repro chaos --smoke --workers 4             # same artifact, 4 processes
     repro chaos --methods self --nodes 2 --group-size 2
     repro chaos --scenario skt-hpl --methods self
     repro chaos --methods self --random 8 --shrink
+    repro chaos --smoke --workers auto --cache .chaos-cache
 
 Runs the exhaustive kill matrix for each requested method (and optionally
 a seeded randomized campaign with shrinking of any failing schedule),
 prints the survivability report, and writes ``report.txt`` +
 ``BENCH_chaos.json`` into ``--out``.  Exit status 0 means every kill
 point survived and no randomized schedule produced a wrong answer.
+
+``--workers N`` fans the independent replays out over the
+:mod:`repro.par` engine (``auto`` = one per CPU, capped); the artifacts
+are byte-identical to the serial run.  ``--cache DIR`` persists
+classified outcomes across invocations, keyed by a content fingerprint
+that includes the repo's source code — edit any protocol and every entry
+invalidates itself.
 """
 
 from __future__ import annotations
@@ -119,6 +128,20 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         help="cap the occurrence axis of the kill matrix",
     )
     parser.add_argument(
+        "--workers", default="1", metavar="N",
+        help="replay worker processes (an integer or 'auto'; default 1 = "
+        "serial — artifacts are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persist classified replay outcomes under DIR (content-"
+        "addressed; invalidates automatically when the source changes)",
+    )
+    parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the stderr progress/throughput line",
+    )
+    parser.add_argument(
         "--out", default="chaos-out", help="artifact directory (default: chaos-out)"
     )
     parser.add_argument(
@@ -126,6 +149,13 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         help="print the report without writing artifacts",
     )
     args = parser.parse_args(argv)
+
+    from repro.par import MemoCache, ProgressReporter, resolve_workers
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError:
+        parser.error(f"--workers must be a positive integer or 'auto', got {args.workers!r}")
 
     try:
         p, q = (int(v) for v in args.grid.lower().split("x"))
@@ -154,6 +184,9 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 f"{', '.join(METHODS)}"
             )
 
+    cache = MemoCache(args.cache) if args.cache else MemoCache()
+    progress = None if args.no_progress else ProgressReporter(label="chaos")
+
     matrices = []
     schedules = None
     shrinks = None
@@ -166,6 +199,9 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 probe=probe,
                 max_occurrences=args.max_occurrences,
                 registry=registry,
+                workers=workers,
+                cache=cache,
+                progress=progress,
             )
         )
         if args.random and method == methods[0]:
@@ -175,18 +211,29 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 mtbf_scale=args.mtbf_scale,
             )
             schedules = random_campaign(
-                scenario, cfg, probe=probe, registry=registry
+                scenario,
+                cfg,
+                probe=probe,
+                registry=registry,
+                workers=workers,
+                cache=cache,
+                progress=progress,
             )
             if args.shrink:
-                shrinks = shrink_failures(scenario, schedules, registry=registry)
+                shrinks = shrink_failures(
+                    scenario, schedules, registry=registry, cache=cache
+                )
 
     text = render_campaign(matrices, schedules, shrinks)
     print(text)
     print()
+    hits = int(registry.total("par.cache_hits"))
+    cached = f", {hits} cached" if hits else ""
     print(
         "campaign runs: "
         f"{int(registry.total('chaos.runs'))} supervised jobs, "
-        f"{int(registry.total('chaos.kill_points'))} kill points"
+        f"{int(registry.total('chaos.kill_points'))} kill points "
+        f"({workers} worker{'s' if workers != 1 else ''}{cached})"
     )
 
     if not args.report_only:

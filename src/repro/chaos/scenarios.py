@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.ckpt.manager import CheckpointManager
 from repro.hpl.daemon import RestartPolicy
+from repro.par.spec import ScenarioSpec, register_scenario
 from repro.sim.cluster import Cluster
 from repro.sim.runtime import JobResult
 
@@ -51,14 +52,41 @@ class ScenarioInstance:
 
 @dataclass
 class ChaosScenario:
-    """A named scenario recipe; ``make()`` builds a fresh instance."""
+    """A named scenario recipe; ``make()`` builds a fresh instance.
+
+    ``spec`` is the pickleable :class:`~repro.par.spec.ScenarioSpec` a
+    worker process rebuilds the scenario from; it is ``None`` when the
+    recipe closes over something that cannot cross a process boundary
+    (a ``protocol_factory`` closure), in which case campaigns stay on
+    the serial path.
+    """
 
     name: str
     params: Dict[str, Any]
     factory: Callable[[], ScenarioInstance] = field(repr=False)
+    spec: Optional[ScenarioSpec] = None
 
     def make(self) -> ScenarioInstance:
         return self.factory()
+
+
+def _policy_fields(policy: RestartPolicy) -> Tuple[float, float, float, int]:
+    return (
+        policy.detect_s,
+        policy.replace_s,
+        policy.restart_s,
+        policy.max_restarts,
+    )
+
+
+def _policy_from_fields(fields: Any) -> RestartPolicy:
+    detect_s, replace_s, restart_s, max_restarts = fields
+    return RestartPolicy(
+        detect_s=float(detect_s),
+        replace_s=float(replace_s),
+        restart_s=float(restart_s),
+        max_restarts=int(max_restarts),
+    )
 
 
 def selfckpt_scenario(
@@ -127,6 +155,22 @@ def selfckpt_scenario(
             check=check,
         )
 
+    spec = None
+    if protocol_factory is None:
+        # everything else round-trips through a pickleable spec; a custom
+        # protocol closure cannot, so such scenarios stay serial-only
+        spec = ScenarioSpec.create(
+            "selfckpt",
+            n_nodes=n_nodes,
+            procs_per_node=procs_per_node,
+            group_size=group_size,
+            iters=iters,
+            ckpt_every=ckpt_every,
+            method=method,
+            op=op,
+            n_spares=spares,
+            policy=_policy_fields(policy or FAST_POLICY),
+        )
     return ChaosScenario(
         name="selfckpt",
         params={
@@ -139,6 +183,7 @@ def selfckpt_scenario(
             "op": op,
         },
         factory=factory,
+        spec=spec,
     )
 
 
@@ -193,6 +238,20 @@ def skt_scenario(
             check=check,
         )
 
+    spec = ScenarioSpec.create(
+        "skt-hpl",
+        n=n,
+        nb=nb,
+        p=p,
+        q=q,
+        group_size=group_size,
+        interval_panels=interval_panels,
+        method=method,
+        seed=seed,
+        procs_per_node=procs_per_node,
+        n_spares=spares,
+        policy=_policy_fields(policy or FAST_POLICY),
+    )
     return ChaosScenario(
         name="skt-hpl",
         params={
@@ -206,4 +265,22 @@ def skt_scenario(
             "procs_per_node": procs_per_node,
         },
         factory=factory,
+        spec=spec,
     )
+
+
+# -- spec builders: how worker processes rebuild these scenarios --------------
+def _selfckpt_from_spec(**kwargs: Any) -> ChaosScenario:
+    kwargs = dict(kwargs)
+    kwargs["policy"] = _policy_from_fields(kwargs["policy"])
+    return selfckpt_scenario(**kwargs)
+
+
+def _skt_from_spec(**kwargs: Any) -> ChaosScenario:
+    kwargs = dict(kwargs)
+    kwargs["policy"] = _policy_from_fields(kwargs["policy"])
+    return skt_scenario(**kwargs)
+
+
+register_scenario("selfckpt", _selfckpt_from_spec)
+register_scenario("skt-hpl", _skt_from_spec)

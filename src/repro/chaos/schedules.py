@@ -21,12 +21,20 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from repro.chaos.campaign import (
+    ChaosError,
     ChaosScenario,
     BaselineProbe,
     _VERDICT_METRIC,
-    classify,
     probe_baseline,
-    run_with_triggers,
+)
+from repro.par.cache import replay_fingerprint
+from repro.par.engine import ParallelEngine
+from repro.par.replay import (
+    ReplayOutcome,
+    ReplaySpec,
+    crash_outcome,
+    replay,
+    replay_scenario,
 )
 from repro.sim.failures import (
     AnyTrigger,
@@ -106,8 +114,26 @@ def generate_schedule(
     return triggers
 
 
+def _schedule_result(
+    index: int, triggers: List[AnyTrigger], outcome: ReplayOutcome
+) -> ScheduleResult:
+    return ScheduleResult(
+        index=index,
+        triggers=list(triggers),
+        verdict=outcome.verdict,
+        n_restarts=outcome.n_restarts,
+        makespan_s=outcome.makespan_s,
+        gave_up_reason=outcome.gave_up_reason,
+        fired=list(outcome.fired),
+    )
+
+
 def run_schedule(
-    scenario: ChaosScenario, triggers: List[AnyTrigger], index: int = 0
+    scenario: ChaosScenario,
+    triggers: List[AnyTrigger],
+    index: int = 0,
+    *,
+    cache: Any = None,
 ) -> ScheduleResult:
     """Replay one schedule under the daemon and classify the outcome.
 
@@ -115,17 +141,22 @@ def run_schedule(
     horizon) is classified like any other run — typically ``not-fired``
     with a completed job, which the campaign summary reports as vacuous
     rather than as survival.
+
+    ``cache`` (a :class:`~repro.par.cache.MemoCache`) short-circuits
+    schedules whose fingerprint was already classified — the shrinker's
+    delta-debug loop re-probes heavily overlapping trigger sets, and a
+    deterministic replay is a pure function of its fingerprint.
     """
-    inst, plan, report = run_with_triggers(scenario, triggers)
-    return ScheduleResult(
-        index=index,
-        triggers=list(triggers),
-        verdict=classify(inst, plan, report),
-        n_restarts=report.n_restarts,
-        makespan_s=report.total_virtual_s,
-        gave_up_reason=report.gave_up_reason,
-        fired=[rec.describe() for rec in report.triggers_fired],
-    )
+    key = None
+    if cache is not None and scenario.spec is not None:
+        key = replay_fingerprint(ReplaySpec(scenario.spec, tuple(triggers)))
+        hit = cache.get(key)
+        if hit is not None:
+            return _schedule_result(index, triggers, hit)
+    outcome = replay_scenario(scenario, tuple(triggers))
+    if key is not None:
+        cache.put(key, outcome)
+    return _schedule_result(index, triggers, outcome)
 
 
 def random_campaign(
@@ -134,13 +165,47 @@ def random_campaign(
     *,
     probe: Optional[BaselineProbe] = None,
     registry: Any = None,
+    workers: int = 1,
+    cache: Any = None,
+    progress: Any = None,
 ) -> List[ScheduleResult]:
-    """Run ``cfg.n_schedules`` seeded schedules; same seed, same verdicts."""
+    """Run ``cfg.n_schedules`` seeded schedules; same seed, same verdicts.
+
+    All schedules derive from the probe and the campaign seed before any
+    replay starts, so they are independent jobs: ``workers > 1`` fans
+    them out over the :mod:`repro.par` engine and merges the results in
+    schedule order — verdicts and artifacts are identical to the serial
+    sweep.
+    """
     probe = probe or probe_baseline(scenario)
-    results = []
-    for i in range(cfg.n_schedules):
-        triggers = generate_schedule(probe, cfg, cfg.seed + i)
-        results.append(run_schedule(scenario, triggers, index=i))
+    schedules = [
+        generate_schedule(probe, cfg, cfg.seed + i) for i in range(cfg.n_schedules)
+    ]
+    engine = ParallelEngine(workers, registry=registry, progress=progress)
+    if scenario.spec is None:
+        if engine.workers > 1:
+            raise ChaosError(
+                f"scenario {scenario.name!r} has no pickleable spec "
+                "(custom factory/protocol closure); run it with workers=1"
+            )
+        outcomes = engine.map(
+            lambda trigs: replay_scenario(scenario, tuple(trigs)),
+            schedules,
+            on_error=crash_outcome,
+        )
+    else:
+        specs = [ReplaySpec(scenario.spec, tuple(trigs)) for trigs in schedules]
+        outcomes = engine.map(
+            replay,
+            specs,
+            cache=cache,
+            key=replay_fingerprint,
+            on_error=crash_outcome,
+        )
+    results = [
+        _schedule_result(i, trigs, out)
+        for i, (trigs, out) in enumerate(zip(schedules, outcomes))
+    ]
     if registry is not None:
         registry.counter("chaos.runs").inc(len(results) + 1)  # + baseline
         for r in results:

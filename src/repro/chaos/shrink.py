@@ -63,13 +63,18 @@ def shrink_schedule(
     failing: Callable[[ScheduleResult], bool] = default_failure,
     max_runs: int = 64,
     registry: Any = None,
+    cache: Any = None,
 ) -> ShrinkResult:
     """Shrink ``triggers`` to a minimal schedule that still fails.
 
     Raises :class:`~repro.chaos.campaign.ChaosError` if the schedule does
     not fail in the first place.  ``max_runs`` bounds the total number of
     replays; shrinking stops (still sound, possibly non-minimal) when the
-    budget runs out.
+    budget runs out.  ``cache`` (a :class:`~repro.par.cache.MemoCache`)
+    memoizes attempts: delta-debug probes overlap heavily across the drop
+    and advance passes (and across the schedules of one campaign), and a
+    cached attempt still counts against ``max_runs`` and ``chaos.runs``
+    so shrink traces stay identical with or without it.
     """
     runs = 0
     steps: List[str] = []
@@ -77,7 +82,7 @@ def shrink_schedule(
     def attempt(trigs: List[AnyTrigger]) -> ScheduleResult:
         nonlocal runs
         runs += 1
-        result = run_schedule(scenario, trigs)
+        result = run_schedule(scenario, trigs, cache=cache)
         if registry is not None:
             registry.counter("chaos.runs").inc()
             registry.counter(_VERDICT_METRIC[result.verdict]).inc()
@@ -153,6 +158,7 @@ def shrink_failures(
     failing: Callable[[ScheduleResult], bool] = default_failure,
     max_runs: int = 64,
     registry: Any = None,
+    cache: Any = None,
 ) -> List[Optional[ShrinkResult]]:
     """Shrink every failing schedule of a campaign (None for the passing
     ones), preserving the campaign's ordering."""
@@ -166,6 +172,7 @@ def shrink_failures(
                     failing=failing,
                     max_runs=max_runs,
                     registry=registry,
+                    cache=cache,
                 )
             )
         else:

@@ -40,12 +40,19 @@ class GF256:
         exp[255:510] = exp[0:255]  # wraparound so exp[a+b] needs no mod
         self._exp = exp
         self._log = log
+        # full 256x256 multiplication table, row c being the lookup table
+        # v -> c*v: 64 KiB once per field instance instead of a fresh
+        # 256-entry table per vec_mul call
+        idx = (log[:, None] + log[None, :]) % 255
+        table = exp[idx]
+        table[0, :] = 0
+        table[:, 0] = 0
+        table.setflags(write=False)
+        self._mul_table = table
 
     # -- scalar ops (used in solving the 2x2 erasure system) -------------------
     def mul(self, a: int, b: int) -> int:
-        if a == 0 or b == 0:
-            return 0
-        return int(self._exp[self._log[a] + self._log[b]])
+        return int(self._mul_table[a, b])
 
     def div(self, a: int, b: int) -> int:
         if b == 0:
@@ -62,6 +69,11 @@ class GF256:
         return int(self._exp[k % 255])
 
     # -- vector ops ---------------------------------------------------------------
+    def mul_table(self, c: int) -> np.ndarray:
+        """Read-only lookup row ``v -> c*v`` (a view into the cached
+        256x256 table; no allocation)."""
+        return self._mul_table[c]
+
     def vec_mul(self, c: int, v: np.ndarray) -> np.ndarray:
         """Scale a uint8 vector by the field constant ``c``."""
         if v.dtype != np.uint8:
@@ -70,11 +82,19 @@ class GF256:
             return np.zeros_like(v)
         if c == 1:
             return v.copy()
-        table = self._exp[(self._log[np.arange(256)] + self._log[c]) % 255].astype(
-            np.uint8
-        )
-        table[0] = 0
-        return table[v]
+        # ndarray.take is measurably faster than fancy indexing here: it
+        # skips the index-array promotion to intp that row[v] pays
+        return self._mul_table[c].take(v)
+
+    def vec_mul_xor(self, c: int, v: np.ndarray, acc: np.ndarray) -> None:
+        """In-place ``acc ^= c*v`` — the encode inner loop, without the
+        intermediate scaled copy for the trivial constants."""
+        if c == 0:
+            return
+        if c == 1:
+            acc ^= v
+            return
+        np.bitwise_xor(acc, self._mul_table[c].take(v), out=acc)
 
 
 _GF = GF256()
@@ -96,7 +116,7 @@ class RSCodec:
         q = np.zeros_like(buffers[0])
         for j, d in enumerate(buffers):
             p ^= d
-            q ^= self.gf.vec_mul(self.gf.pow_g(j), d)
+            self.gf.vec_mul_xor(self.gf.pow_g(j), d, q)
         return p, q
 
     def _check(self, buffers: Sequence[np.ndarray]) -> None:
@@ -147,7 +167,7 @@ class RSCodec:
             assert q is not None
             acc = q.copy()
             for j, d in survivors.items():
-                acc ^= gf.vec_mul(gf.pow_g(j), d)
+                gf.vec_mul_xor(gf.pow_g(j), d, acc)
             return {x: gf.vec_mul(gf.inv(gf.pow_g(x)), acc)}
 
         # two data losses: solve
@@ -160,7 +180,7 @@ class RSCodec:
         qq = q.copy()
         for j, d in survivors.items():
             pp ^= d
-            qq ^= gf.vec_mul(gf.pow_g(j), d)
+            gf.vec_mul_xor(gf.pow_g(j), d, qq)
         gx, gy = gf.pow_g(x), gf.pow_g(y)
         denom = gx ^ gy  # g^x + g^y in GF(2^8)
         a = gf.div(gy, denom)

@@ -19,6 +19,16 @@ Every member therefore hosts exactly one P stripe, one Q stripe, and
 entries from each row — data and/or parity — which the (P, Q) pair decodes
 (:class:`repro.ckpt.raid6.RSCodec` handles every erasure case).
 
+The row/stripe mapping is pure combinatorics of ``N``, so it is computed
+once per group size and cached as a :class:`GroupLayout` (the hot encode
+path previously re-derived it with O(N^2) scans per stripe lookup).  The
+per-group-size :class:`~repro.ckpt.raid6.RSCodec` is likewise cached —
+construction is cheap but the encode/decode paths run once per row per
+checkpoint, so nothing worth hoisting is left inside the loops.  Stripe
+access (:func:`_stripe`) is a zero-copy numpy view end-to-end: encode
+reads views of the member buffers and reconstruction writes through views
+of the rebuilt ones.
+
 Space
 -----
 Checksum storage per member is ``2m/(N-2)`` (one P + one Q stripe), so the
@@ -33,6 +43,8 @@ All functions operate on ``uint8`` buffers whose length is a multiple of
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -56,13 +68,66 @@ def checksum_size_rs(nbytes_padded: int, group_size: int) -> int:
     return 2 * (nbytes_padded // n_stripes)
 
 
+@dataclass(frozen=True)
+class GroupLayout:
+    """Precomputed row/stripe combinatorics of one group size.
+
+    ``rows[r]`` is ``(p_holder, q_holder, data_members)`` for slot row
+    ``r``; ``stripe_of[(member, row)]`` maps a member's contribution to a
+    row onto its local stripe index (inverse: ``row_of[(member, stripe)]``)
+    and ``position_of[(member, row)]`` onto its codec position within the
+    row.  All three replace the O(N^2) rescans the encode and reconstruct
+    loops used to perform per stripe.
+    """
+
+    group_size: int
+    rows: Tuple[Tuple[int, int, Tuple[int, ...]], ...]
+    stripe_of: Dict[Tuple[int, int], int]
+    row_of: Dict[Tuple[int, int], int]
+    position_of: Dict[Tuple[int, int], int]
+
+
+@lru_cache(maxsize=None)
+def layout_for(group_size: int) -> GroupLayout:
+    """The cached :class:`GroupLayout` for ``group_size`` members."""
+    n = group_size
+    if n < 4:
+        raise ValueError("double-parity groups need >= 4 members")
+    rows: List[Tuple[int, int, Tuple[int, ...]]] = []
+    stripe_of: Dict[Tuple[int, int], int] = {}
+    row_of: Dict[Tuple[int, int], int] = {}
+    position_of: Dict[Tuple[int, int], int] = {}
+    counts = [0] * n
+    for row in range(n):
+        p = row % n
+        q = (row + 1) % n
+        data = tuple(j for j in range(n) if j != p and j != q)
+        rows.append((p, q, data))
+        for pos, j in enumerate(data):
+            stripe = counts[j]
+            counts[j] += 1
+            stripe_of[(j, row)] = stripe
+            row_of[(j, stripe)] = row
+            position_of[(j, row)] = pos
+    return GroupLayout(
+        group_size=n,
+        rows=tuple(rows),
+        stripe_of=stripe_of,
+        row_of=row_of,
+        position_of=position_of,
+    )
+
+
+@lru_cache(maxsize=None)
+def codec_for(n_stripes: int) -> RSCodec:
+    """One shared :class:`~repro.ckpt.raid6.RSCodec` per stripe count."""
+    return RSCodec(n_stripes)
+
+
 def row_roles(row: int, group_size: int) -> Tuple[int, int, List[int]]:
     """(P holder, Q holder, data holders in member order) for a slot row."""
-    n = group_size
-    p = row % n
-    q = (row + 1) % n
-    data = [j for j in range(n) if j != p and j != q]
-    return p, q, data
+    p, q, data = layout_for(group_size).rows[row % group_size]
+    return p, q, list(data)
 
 
 def data_row_of(member: int, stripe: int, group_size: int) -> int:
@@ -71,18 +136,16 @@ def data_row_of(member: int, stripe: int, group_size: int) -> int:
     Member ``j`` contributes data to every row where it is neither P nor Q
     holder — ``N-2`` rows; this maps local stripe index to row index.
     """
-    n = group_size
-    count = -1
-    for row in range(n):
-        p, q, _ = row_roles(row, n)
-        if member != p and member != q:
-            count += 1
-            if count == stripe:
-                return row
-    raise ValueError(f"member {member} has only {count + 1} data stripes")
+    row = layout_for(group_size).row_of.get((member, stripe))
+    if row is None:
+        raise ValueError(
+            f"member {member} has only {group_size - 2} data stripes"
+        )
+    return row
 
 
 def _stripe(buf: np.ndarray, idx: int, n_stripes: int) -> np.ndarray:
+    """Zero-copy view of data stripe ``idx`` of ``buf``."""
     size = len(buf) // n_stripes
     return buf[idx * size : (idx + 1) * size]
 
@@ -101,18 +164,18 @@ def build_parity(
     size = len(buffers[0])
     if any(len(b) != size or b.dtype != np.uint8 for b in buffers):
         raise ValueError("buffers must be equal-length uint8")
+    layout = layout_for(n)
     n_stripes = n - 2
-    codec = RSCodec(n_stripes)
+    codec = codec_for(n_stripes)
 
     row_p: Dict[int, np.ndarray] = {}
     row_q: Dict[int, np.ndarray] = {}
     for row in range(n):
-        _, _, data_members = row_roles(row, n)
-        contributions = []
-        for pos, j in enumerate(data_members):
-            # member j's stripe index within its own buffer for this row
-            stripe_idx = _stripe_index_of(j, row, n)
-            contributions.append(_stripe(buffers[j], stripe_idx, n_stripes))
+        _, _, data_members = layout.rows[row]
+        contributions = [
+            _stripe(buffers[j], layout.stripe_of[(j, row)], n_stripes)
+            for j in data_members
+        ]
         p, q = codec.encode(contributions)
         row_p[row] = p
         row_q[row] = q
@@ -126,15 +189,10 @@ def build_parity(
 def _stripe_index_of(member: int, row: int, group_size: int) -> int:
     """Inverse of :func:`data_row_of`: the local stripe index of
     ``member``'s contribution to ``row``."""
-    n = group_size
-    count = -1
-    for r in range(n):
-        p, q, _ = row_roles(r, n)
-        if member != p and member != q:
-            count += 1
-            if r == row:
-                return count
-    raise ValueError(f"member {member} holds no data in row {row}")
+    stripe = layout_for(group_size).stripe_of.get((member, row))
+    if stripe is None:
+        raise ValueError(f"member {member} holds no data in row {row}")
+    return stripe
 
 
 def reconstruct_rs(
@@ -166,16 +224,17 @@ def reconstruct_rs(
     if set(survivors) != expect or set(survivor_parity) != expect:
         raise ValueError("need buffers+parity from exactly the survivors")
     size = len(next(iter(survivors.values())))
+    layout = layout_for(n)
     n_stripes = n - 2
     stripe_size = size // n_stripes
-    codec = RSCodec(n_stripes)
+    codec = codec_for(n_stripes)
 
     rebuilt_bufs = {m: np.zeros(size, dtype=np.uint8) for m in missing}
     rebuilt_p: Dict[int, np.ndarray] = {}
     rebuilt_q: Dict[int, np.ndarray] = {}
 
     for row in range(n):
-        p_holder, q_holder, data_members = row_roles(row, n)
+        p_holder, q_holder, data_members = layout.rows[row]
         p = (
             survivor_parity[p_holder][0]
             if p_holder not in missing
@@ -193,11 +252,11 @@ def reconstruct_rs(
                 lost_positions[pos] = j
             else:
                 present[pos] = _stripe(
-                    survivors[j], _stripe_index_of(j, row, n), n_stripes
+                    survivors[j], layout.stripe_of[(j, row)], n_stripes
                 )
         decoded = codec.decode(present, p, q)
         for pos, member in lost_positions.items():
-            idx = _stripe_index_of(member, row, n)
+            idx = layout.stripe_of[(member, row)]
             _stripe(rebuilt_bufs[member], idx, n_stripes)[:] = decoded[pos]
         # recompute lost parity stripes from the (now complete) row data
         if p is None or q is None:
@@ -224,9 +283,27 @@ def verify_group_rs(
     parity: Sequence[Tuple[np.ndarray, np.ndarray]],
     group_size: int,
 ) -> bool:
-    """True when the (P, Q) stripes are consistent with the buffers."""
-    fresh = build_parity(buffers, group_size)
-    return all(
-        np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
-        for a, b in zip(fresh, parity)
-    )
+    """True when the (P, Q) stripes are consistent with the buffers.
+
+    Checks row by row and returns ``False`` at the first mismatching
+    stripe instead of materializing every fresh parity pair first — a
+    corrupted group is detected after one row's worth of encoding.
+    """
+    n = group_size
+    if len(buffers) != n or len(parity) != n:
+        raise ValueError(f"need {n} buffers and parity pairs")
+    layout = layout_for(n)
+    n_stripes = n - 2
+    codec = codec_for(n_stripes)
+    for row in range(n):
+        p_holder, q_holder, data_members = layout.rows[row]
+        contributions = [
+            _stripe(buffers[j], layout.stripe_of[(j, row)], n_stripes)
+            for j in data_members
+        ]
+        p, q = codec.encode(contributions)
+        if not np.array_equal(p, parity[p_holder][0]):
+            return False
+        if not np.array_equal(q, parity[q_holder][1]):
+            return False
+    return True

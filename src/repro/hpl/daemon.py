@@ -38,6 +38,16 @@ class RestartPolicy:
     restart_s: float = 9.0
     max_restarts: int = 8
 
+    def __post_init__(self) -> None:
+        # policies round-trip through pickleable scenario specs and the
+        # replay memo cache (repro.par), so malformed field values must
+        # fail here rather than deep inside a worker's daemon loop
+        for name in ("detect_s", "replace_s", "restart_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+
     @classmethod
     def for_machine(cls, machine_name: str, **overrides) -> "RestartPolicy":
         """Per-machine presets from §6.3: detection "is about 30 seconds on
@@ -141,7 +151,15 @@ class JobDaemon:
 
     def run(self) -> DaemonReport:
         """Run until the application completes, recovery becomes impossible,
-        or the restart budget is exhausted."""
+        or the restart budget is exhausted.
+
+        The report is a pure function of the constructor arguments: virtual
+        clocks and byte-exact failure delivery leave no scheduler or
+        wall-clock residue.  The parallel replay engine (:mod:`repro.par`)
+        leans on exactly this — a supervised run can be replayed in any
+        worker process, or memoized by content fingerprint, and yield the
+        same verdict.
+        """
         report = DaemonReport(completed=False, result=None, n_restarts=0)
         for attempt in range(self.policy.max_restarts + 1):
             if self.tracer is not None:

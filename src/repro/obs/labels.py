@@ -75,6 +75,14 @@ METRIC_NAMES = frozenset(
         "chaos.unrecoverable",
         "chaos.gave_up",
         "chaos.not_fired",
+        # parallel replay engine (src/repro/par): tasks counts every spec
+        # the engine resolved (cache hits included); cache_hits/cache_misses
+        # partition the memoized-lookup outcomes; workers is a gauge of the
+        # pool width actually used for the map
+        "par.tasks",
+        "par.cache_hits",
+        "par.cache_misses",
+        "par.workers",
     }
 )
 

@@ -1,0 +1,120 @@
+"""Content-addressed memoization of replay outcomes.
+
+Campaign runs are deterministic: the same scenario parameters, seed and
+trigger set always produce the same verdict (virtual clocks, byte-exact
+failure delivery).  That makes a replay a pure function of its
+:class:`~repro.par.replay.ReplaySpec` — so repeated sweeps (a shrinker
+delta-debug run re-probing overlapping schedules, a benchmark re-running
+the smoke matrix) can skip points that were already classified.
+
+The fingerprint covers everything the verdict depends on:
+
+* the scenario spec (kind + canonical kwargs),
+* the trigger set, field by field, in order,
+* a **code fingerprint** — a digest over every ``*.py`` source file of the
+  installed ``repro`` package — plus :data:`CACHE_SCHEMA_VERSION`.
+
+The code fingerprint is the invalidation rule: touch any source file of
+the simulator, protocols, drivers or campaign engine and every cached
+outcome misses.  Coarse on purpose — a stale hit would silently report
+verdicts of code that no longer exists, and hashing ~200 small files
+costs milliseconds, once per process.
+
+:class:`MemoCache` layers an in-memory dict over an optional on-disk
+directory of ``<fingerprint>.json`` files, so the cache can persist
+across invocations (``repro chaos --cache DIR``) or stay process-local
+(the default inside one campaign, where it already deduplicates shrinker
+re-probes).  Unreadable or corrupt entries count as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from repro.par.replay import ReplayOutcome, ReplaySpec
+
+#: bump to invalidate every cached outcome on an incompatible layout change
+CACHE_SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest over the installed ``repro`` package's source files."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    h = hashlib.sha256()
+    paths = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in filenames:
+            if name.endswith(".py"):
+                paths.append(os.path.join(dirpath, name))
+    for path in sorted(paths):
+        h.update(os.path.relpath(path, root).encode("utf-8"))
+        with open(path, "rb") as f:
+            h.update(f.read())
+    return h.hexdigest()
+
+
+def _trigger_doc(trigger: Any) -> Dict[str, Any]:
+    doc = dataclasses.asdict(trigger)
+    doc["kind"] = type(trigger).__name__
+    return doc
+
+
+def replay_fingerprint(spec: ReplaySpec) -> str:
+    """The content address of one replay job."""
+    doc = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": code_fingerprint(),
+        "scenario": {"kind": spec.scenario.kind, "kwargs": spec.scenario.as_dict()},
+        "triggers": [_trigger_doc(t) for t in spec.triggers],
+    }
+    blob = json.dumps(doc, sort_keys=True, default=list)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class MemoCache:
+    """In-memory (and optionally on-disk) store of classified outcomes."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._mem: Dict[str, ReplayOutcome] = {}
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def _file_for(self, key: str) -> Optional[str]:
+        return None if self.path is None else os.path.join(self.path, f"{key}.json")
+
+    def get(self, key: str) -> Optional[ReplayOutcome]:
+        hit = self._mem.get(key)
+        if hit is not None:
+            return hit
+        file = self._file_for(key)
+        if file is None or not os.path.exists(file):
+            return None
+        try:
+            with open(file, "r", encoding="utf-8") as f:
+                outcome = ReplayOutcome.from_json(json.load(f))
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt entry == miss; it will be rewritten
+        self._mem[key] = outcome
+        return outcome
+
+    def put(self, key: str, outcome: ReplayOutcome) -> None:
+        self._mem[key] = outcome
+        file = self._file_for(key)
+        if file is not None:
+            tmp = f"{file}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(outcome.to_json(), f, sort_keys=True)
+            os.replace(tmp, file)

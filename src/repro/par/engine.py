@@ -1,0 +1,144 @@
+"""The parallel execution engine: deterministic fan-out of pure replays.
+
+Campaign replays are independent jobs — each builds a fresh cluster, runs
+under its own daemon, and touches nothing shared — so a kill matrix, a
+randomized campaign or a benchmark sweep is an embarrassingly parallel
+map.  :class:`ParallelEngine` fans pickleable tasks out over a
+``multiprocessing`` pool and reassembles the results **in submission
+order**, so every consumer (reports, ``BENCH_chaos.json``) sees exactly
+the sequence the serial engine would have produced: parallelism changes
+wall-clock time and nothing else, which the golden equivalence test
+pins byte-for-byte.
+
+Three behaviors ride on the map:
+
+* **memoization** — pass a :class:`~repro.par.cache.MemoCache` and a
+  ``key`` function; cache hits resolve without running, misses are stored
+  after running.  Error-folded results are never cached.
+* **error folding** — ``on_error(task, exc)`` turns a task that raised
+  (inside a worker or inline) into a result in its slot instead of
+  aborting the sweep; without it, the exception propagates.
+* **accounting** — a :class:`~repro.obs.metrics.MetricsRegistry` gets the
+  deterministic counters (``par.tasks``, ``par.cache_hits``,
+  ``par.cache_misses``, ``par.workers``); wall-clock throughput goes only
+  to the progress reporter, never into metrics, so exported artifacts
+  stay byte-stable.
+
+``workers <= 1`` runs the same code path inline — no pool, no pickling
+requirement — which is also the fallback for tasks that cannot cross a
+process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.par.progress import NullProgress
+
+#: cap for ``workers="auto"`` — campaign replays are CPU-bound
+AUTO_WORKERS_CAP = 8
+
+
+def default_workers() -> int:
+    """``min(cpu_count, cap)`` — the ``--workers auto`` resolution."""
+    try:
+        n = len(os.sched_getaffinity(0))  # respects container CPU limits
+    except AttributeError:  # pragma: no cover - non-Linux
+        n = multiprocessing.cpu_count()
+    return max(1, min(n, AUTO_WORKERS_CAP))
+
+
+def resolve_workers(workers: Any) -> int:
+    """Normalize a ``--workers`` value: int, ``"auto"`` or None."""
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return default_workers()
+    n = int(workers)
+    if n < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return n
+
+
+class ParallelEngine:
+    """Order-preserving parallel map with memoization and error folding."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        registry: Any = None,
+        progress: Any = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.registry = registry
+        self.progress = progress if progress is not None else NullProgress()
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        cache: Any = None,
+        key: Optional[Callable[[Any], str]] = None,
+        on_error: Optional[Callable[[Any, BaseException], Any]] = None,
+    ) -> List[Any]:
+        """Run ``fn`` over ``tasks``; results in task order."""
+        tasks = list(tasks)
+        total = len(tasks)
+        results: List[Any] = [None] * total
+        keys: List[Optional[str]] = [None] * total
+
+        pending: List[int] = []
+        hits = 0
+        for i, task in enumerate(tasks):
+            if cache is not None and key is not None:
+                keys[i] = key(task)
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    hits += 1
+                    continue
+            pending.append(i)
+
+        if self.registry is not None:
+            self.registry.counter("par.tasks").inc(total)
+            self.registry.counter("par.cache_hits").inc(hits)
+            self.registry.counter("par.cache_misses").inc(len(pending))
+            self.registry.gauge("par.workers").set(self.workers)
+
+        self.progress.start(total, self.workers)
+        done = hits
+        if done:
+            self.progress.update(done, total, hits, self.workers)
+
+        def settle(i: int, run: Callable[[], Any]) -> None:
+            nonlocal done
+            try:
+                results[i] = run()
+            except Exception as exc:
+                if on_error is None:
+                    raise
+                results[i] = on_error(tasks[i], exc)
+            else:
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], results[i])
+            done += 1
+            self.progress.update(done, total, hits, self.workers)
+
+        if self.workers > 1 and len(pending) > 1:
+            n_procs = min(self.workers, len(pending))
+            with self._ctx.Pool(processes=n_procs) as pool:
+                handles = [(i, pool.apply_async(fn, (tasks[i],))) for i in pending]
+                for i, handle in handles:
+                    settle(i, handle.get)
+        else:
+            for i in pending:
+                settle(i, lambda i=i: fn(tasks[i]))
+
+        self.progress.finish(done, total, hits, self.workers)
+        return results

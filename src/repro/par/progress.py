@@ -1,0 +1,81 @@
+"""Campaign progress/throughput reporting.
+
+The only wall-clock consumer outside ``repro.sim.mpi``: throughput of the
+*host* replay engine is a wall-clock quantity by definition, and none of
+it ever feeds virtual time or a campaign artifact — progress lines go to
+stderr, deterministic counts go to the metrics registry from the engine
+itself.  (The simlint ``wallclock`` allowlist names this module for
+exactly that reason.)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class ProgressReporter:
+    """Throttled ``done/total`` + runs/s line, engine-driven.
+
+    The engine calls :meth:`start` once, :meth:`update` after every
+    resolved task (cache hits included) and :meth:`finish` at the end.
+    ``min_interval_s`` throttles redraws so tiny campaigns don't spam.
+    """
+
+    def __init__(
+        self,
+        label: str = "chaos",
+        stream: Optional[IO[str]] = None,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._t0 = 0.0
+        self._last = 0.0
+
+    def _now(self) -> float:
+        return time.monotonic()
+
+    def start(self, total: int, workers: int) -> None:
+        self._t0 = self._now()
+        self._last = 0.0
+        self._emit(0, total, 0, workers, force=total == 0)
+
+    def update(self, done: int, total: int, cache_hits: int, workers: int) -> None:
+        now = self._now()
+        if done < total and (now - self._last) < self.min_interval_s:
+            return
+        self._last = now
+        self._emit(done, total, cache_hits, workers)
+
+    def finish(self, done: int, total: int, cache_hits: int, workers: int) -> None:
+        self._emit(done, total, cache_hits, workers, force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    def _emit(
+        self, done: int, total: int, cache_hits: int, workers: int, force: bool = False
+    ) -> None:
+        elapsed = max(self._now() - self._t0, 1e-9)
+        rate = done / elapsed
+        hits = f", {cache_hits} cached" if cache_hits else ""
+        self.stream.write(
+            f"\r{self.label}: {done}/{total} replays "
+            f"({rate:.1f}/s, {workers} worker{'s' if workers != 1 else ''}{hits})"
+        )
+        self.stream.flush()
+
+
+class NullProgress:
+    """No-op reporter (the engine default)."""
+
+    def start(self, total: int, workers: int) -> None:
+        pass
+
+    def update(self, done: int, total: int, cache_hits: int, workers: int) -> None:
+        pass
+
+    def finish(self, done: int, total: int, cache_hits: int, workers: int) -> None:
+        pass

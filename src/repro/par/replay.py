@@ -1,0 +1,98 @@
+"""The replay work unit: one scenario + one trigger set -> one outcome.
+
+:class:`ReplaySpec` is the pickleable job description the parallel engine
+ships to a worker; :func:`replay` is the worker entry point — it rebuilds
+the scenario from its :class:`~repro.par.spec.ScenarioSpec`, runs it under
+the :class:`~repro.hpl.daemon.JobDaemon` with the triggers armed, and
+classifies the result into a :class:`ReplayOutcome`.
+
+:class:`ReplayOutcome` deliberately carries only the scalar verdict
+fields — never the :class:`~repro.sim.runtime.JobResult` with its per-rank
+numpy payloads — so crossing the process boundary (and the memo cache's
+JSON encoding) stays cheap and exact.  Campaign result types
+(:class:`~repro.chaos.campaign.KillResult`,
+:class:`~repro.chaos.schedules.ScheduleResult`) are built from outcomes,
+which is what makes the serial and parallel paths byte-identical: both
+flow through the same outcome fields.
+
+All imports of :mod:`repro.chaos` happen inside function bodies:
+``repro.chaos.campaign`` imports this module, not the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: verdict used when a replay raises instead of classifying — the crash is
+#: itself a campaign outcome (matches repro.chaos.campaign.VERDICT_GAVE_UP)
+CRASH_VERDICT = "gave-up"
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Scalar outcome of one supervised replay."""
+
+    verdict: str
+    n_restarts: int
+    makespan_s: float
+    gave_up_reason: Optional[str] = None
+    fired: Tuple[str, ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "n_restarts": self.n_restarts,
+            "makespan_s": self.makespan_s,
+            "gave_up_reason": self.gave_up_reason,
+            "fired": list(self.fired),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ReplayOutcome":
+        return cls(
+            verdict=str(doc["verdict"]),
+            n_restarts=int(doc["n_restarts"]),
+            makespan_s=float(doc["makespan_s"]),
+            gave_up_reason=doc.get("gave_up_reason"),
+            fired=tuple(doc.get("fired", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """One pickleable replay job: scenario recipe + armed triggers."""
+
+    scenario: Any  # ScenarioSpec
+    triggers: Tuple[Any, ...]  # AnyTrigger instances (plain dataclasses)
+
+
+def replay_scenario(scenario: Any, triggers: Tuple[Any, ...]) -> ReplayOutcome:
+    """Replay an already-built :class:`ChaosScenario` in this process."""
+    from repro.chaos.campaign import classify, run_with_triggers
+
+    inst, plan, report = run_with_triggers(scenario, list(triggers))
+    return ReplayOutcome(
+        verdict=classify(inst, plan, report),
+        n_restarts=report.n_restarts,
+        makespan_s=report.total_virtual_s,
+        gave_up_reason=report.gave_up_reason,
+        fired=tuple(rec.describe() for rec in report.triggers_fired),
+    )
+
+
+def replay(spec: ReplaySpec) -> ReplayOutcome:
+    """Worker entry point: rebuild the scenario and replay it."""
+    return replay_scenario(spec.scenario.build(), spec.triggers)
+
+
+def crash_outcome(spec: Any, exc: BaseException) -> ReplayOutcome:
+    """Fold a replay that raised (in-pool or inline) into its own verdict
+    instead of losing the whole campaign to one crash."""
+    return ReplayOutcome(
+        verdict=CRASH_VERDICT,
+        n_restarts=0,
+        makespan_s=0.0,
+        gave_up_reason=f"replay crashed: {type(exc).__name__}: {exc}",
+        fired=(),
+    )

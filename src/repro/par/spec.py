@@ -1,0 +1,68 @@
+"""Pickleable scenario specifications for cross-process replay.
+
+A :class:`~repro.chaos.scenarios.ChaosScenario` carries a *closure*
+factory — cheap and flexible in-process, but unpicklable, so it cannot
+cross a worker-pool boundary.  :class:`ScenarioSpec` is the wire form: a
+``(kind, kwargs)`` pair that a worker process rebuilds into a fresh
+scenario through a registry of named builders.
+
+Builders register themselves with :func:`register_scenario`;
+:mod:`repro.chaos.scenarios` registers ``selfckpt`` and ``skt-hpl`` at
+import time (``build()`` imports it lazily so worker processes that only
+imported :mod:`repro.par` still resolve them).  A scenario constructed
+with unpicklable extras (a ``protocol_factory`` closure, say) simply has
+no spec (``scenario.spec is None``) and stays on the serial path.
+
+Spec kwargs must be JSON-canonicalizable (scalars, strings, tuples):
+they feed both the builder call and the content-addressed fingerprint of
+:mod:`repro.par.cache`, so anything that cannot round-trip through
+canonical JSON has no business in a spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+#: kind -> builder(**kwargs) -> ChaosScenario
+_BUILDERS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_scenario(kind: str, builder: Callable[..., Any]) -> None:
+    """Register (or replace) the builder a worker uses for ``kind``."""
+    _BUILDERS[kind] = builder
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_BUILDERS))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The pickleable ``(kind, kwargs)`` recipe of one scenario."""
+
+    kind: str
+    #: sorted ``(key, value)`` pairs — hashable and order-canonical
+    kwargs: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def create(cls, kind: str, **kwargs: Any) -> "ScenarioSpec":
+        return cls(kind=kind, kwargs=tuple(sorted(kwargs.items())))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+    def build(self) -> Any:
+        """Rebuild a fresh :class:`ChaosScenario` from this spec."""
+        if self.kind not in _BUILDERS:
+            # the built-in builders live with the scenarios themselves;
+            # imported lazily so repro.par never depends on repro.chaos
+            # at module level (repro.chaos imports repro.par)
+            import repro.chaos.scenarios  # noqa: F401
+        builder = _BUILDERS.get(self.kind)
+        if builder is None:
+            raise KeyError(
+                f"no scenario builder registered for kind {self.kind!r}; "
+                f"known kinds: {registered_kinds()}"
+            )
+        return builder(**self.as_dict())

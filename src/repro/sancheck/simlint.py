@@ -30,6 +30,12 @@ tree:
     copies defensively, application code written against it must stay
     correct on zero-copy transports.
 
+``parallel``
+    No direct ``multiprocessing`` / ``concurrent.futures`` imports outside
+    :mod:`repro.par` — host-process parallelism must go through the one
+    engine whose deterministic merge keeps artifacts byte-identical
+    (everything else would race the campaign's canonical ordering).
+
 ``obs-label``
     String literals passed to ``ctx.span(...)`` must come from
     :data:`repro.obs.labels.SPAN_LABELS` and literals naming instruments
@@ -130,7 +136,10 @@ SPAN_METHODS = {"span"}
 #: method names whose first (string-literal) argument names a metric
 METRIC_METHODS = {"counter", "gauge", "histogram"}
 
-ALL_RULES = ("wallclock", "threading", "rng", "recv-mutate", "obs-label")
+#: modules whose import marks host-process parallelism (``parallel`` rule)
+PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
+
+ALL_RULES = ("wallclock", "threading", "rng", "recv-mutate", "obs-label", "parallel")
 
 _PRAGMA_RE = re.compile(r"#\s*simlint:\s*allow(?:\[([\w\-,\s]*)\])?")
 
@@ -139,9 +148,10 @@ _PRAGMA_RE = re.compile(r"#\s*simlint:\s*allow(?:\[([\w\-,\s]*)\])?")
 class LintConfig:
     """Per-rule module allowlists (prefix match on dotted module names)."""
 
-    wallclock_allow: Tuple[str, ...] = ("repro.sim.mpi",)
+    wallclock_allow: Tuple[str, ...] = ("repro.sim.mpi", "repro.par.progress")
     threading_allow: Tuple[str, ...] = ("repro.sim",)
     rng_allow: Tuple[str, ...] = ("repro.util.rng",)
+    parallel_allow: Tuple[str, ...] = ("repro.par",)
     rules: Tuple[str, ...] = ALL_RULES
 
 
@@ -253,6 +263,36 @@ class _Linter(ast.NodeVisitor):
     @property
     def _taint(self) -> Dict[str, int]:
         return self._taint_stack[-1]
+
+    # -- parallel: imports of host-process parallelism modules -----------------
+    def _parallel_module(self, module: str) -> Optional[str]:
+        for p in PARALLEL_MODULES:
+            if module == p or module.startswith(p + "."):
+                return p
+        return None
+
+    def _check_parallel_import(self, node: ast.AST, module: str) -> None:
+        hit = self._parallel_module(module)
+        if hit is not None and not _module_allowed(
+            self.module, self.config.parallel_allow
+        ):
+            self._report(
+                "parallel",
+                node,
+                f"direct {hit} import — host-process parallelism goes "
+                "through repro.par.ParallelEngine (deterministic merge, "
+                "memo cache, crash folding)",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for a in node.names:
+            self._check_parallel_import(node, a.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and not node.level:
+            self._check_parallel_import(node, node.module)
+        self.generic_visit(node)
 
     # -- scope handling for recv-mutate ---------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -157,3 +157,57 @@ class TestRSCodec:
         )
         np.testing.assert_array_equal(got[x], bufs[x])
         np.testing.assert_array_equal(got[y], bufs[y])
+
+
+class TestCachedKernel:
+    """Regressions for the cached 256x256 multiply table: the hot scale
+    kernel must never rebuild a lookup table per call (the seed rebuilt a
+    256-entry row on *every* vec_mul, dominating encode cost at protocol
+    stripe sizes)."""
+
+    def test_vec_mul_allocates_no_table(self, gf, monkeypatch):
+        v = np.arange(64, dtype=np.uint8)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "vec_mul rebuilt a lookup table at call time"
+            )
+
+        # the per-call rebuild needed np.arange; the cached kernel may not
+        monkeypatch.setattr(np, "arange", forbidden)
+        got = gf.vec_mul(7, v)
+        assert got.dtype == np.uint8 and len(got) == 64
+
+    def test_mul_table_row_is_a_readonly_view(self, gf):
+        row = gf.mul_table(7)
+        assert row.base is gf._mul_table  # a view, not a fresh array
+        assert not row.flags.writeable
+        with pytest.raises(ValueError):
+            row[0] = 1
+
+    def test_mul_table_matches_scalar_mul(self, gf):
+        for c in (0, 1, 2, 7, 255):
+            row = gf.mul_table(c)
+            for v in (0, 1, 3, 128, 255):
+                assert int(row[v]) == gf.mul(c, v)
+
+    def test_vec_mul_matches_scalar_mul(self, gf):
+        v = np.arange(256, dtype=np.uint8)
+        for c in (0, 1, 2, 29, 255):
+            got = gf.vec_mul(c, v)
+            assert got.tolist() == [gf.mul(c, int(x)) for x in v]
+
+    def test_vec_mul_xor_accumulates_in_place(self, gf):
+        v = np.arange(64, dtype=np.uint8)
+        acc = np.full(64, 0x5A, dtype=np.uint8)
+        expect = acc ^ gf.vec_mul(29, v)
+        gf.vec_mul_xor(29, v, acc)
+        assert np.array_equal(acc, expect)
+
+    def test_vec_mul_xor_trivial_constants(self, gf):
+        v = np.arange(32, dtype=np.uint8)
+        acc = v.copy()
+        gf.vec_mul_xor(0, v, acc)  # c=0: no-op
+        assert np.array_equal(acc, v)
+        gf.vec_mul_xor(1, v, acc)  # c=1: plain xor
+        assert not acc.any()

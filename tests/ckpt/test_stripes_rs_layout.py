@@ -1,0 +1,99 @@
+"""Tests for the cached GroupLayout and codec reuse in stripes_rs."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt.raid6 import RSCodec
+from repro.ckpt.stripes_rs import (
+    build_parity,
+    codec_for,
+    data_row_of,
+    layout_for,
+    padded_size_rs,
+    row_roles,
+    verify_group_rs,
+)
+from repro.util.rng import seeded_rng
+
+
+def _group(n, words_per_stripe=4, seed=0):
+    rng = seeded_rng(seed)
+    size = 8 * (n - 2) * words_per_stripe
+    return [
+        rng.integers(0, 256, size=size).astype(np.uint8) for _ in range(n)
+    ]
+
+
+class TestGroupLayout:
+    def test_cached_identity(self):
+        assert layout_for(6) is layout_for(6)
+        assert codec_for(4) is codec_for(4)
+        assert isinstance(codec_for(4), RSCodec)
+
+    def test_rows_partition_roles(self):
+        for n in (4, 5, 6, 8):
+            layout = layout_for(n)
+            for row, (p, q, data) in enumerate(layout.rows):
+                assert q == (row + 1) % n and p == row % n
+                assert set(data) == set(range(n)) - {p, q}
+
+    def test_every_member_hosts_n_minus_2_data_stripes(self):
+        n = 6
+        layout = layout_for(n)
+        for member in range(n):
+            stripes = [
+                s for (m, s) in layout.row_of if m == member
+            ]
+            assert sorted(stripes) == list(range(n - 2))
+
+    def test_maps_are_mutually_inverse(self):
+        n = 7
+        layout = layout_for(n)
+        for (member, row), stripe in layout.stripe_of.items():
+            assert layout.row_of[(member, stripe)] == row
+            assert data_row_of(member, stripe, n) == row
+
+    def test_row_roles_wrapper_matches_layout(self):
+        n = 5
+        for row in range(n):
+            p, q, data = row_roles(row, n)
+            assert (p, q, tuple(data)) == layout_for(n).rows[row]
+
+    def test_small_group_rejected(self):
+        with pytest.raises(ValueError):
+            layout_for(3)
+
+
+class TestVerifyShortCircuit:
+    def test_clean_group_verifies(self):
+        n = 6
+        bufs = _group(n)
+        parity = build_parity(bufs, n)
+        assert verify_group_rs(bufs, parity, n)
+
+    def test_corrupt_buffer_detected(self):
+        n = 6
+        bufs = _group(n)
+        parity = build_parity(bufs, n)
+        bufs[2][0] ^= 0xFF
+        assert not verify_group_rs(bufs, parity, n)
+
+    def test_returns_at_first_mismatching_row(self, monkeypatch):
+        """A corrupted row-0 parity must be caught after one row's
+        encode, not after materializing all N fresh parity pairs."""
+        n = 6
+        bufs = _group(n)
+        parity = build_parity(bufs, n)
+        p0, q0 = parity[0]
+        parity[0] = (p0 ^ np.uint8(1), q0)  # corrupt P of row 0
+
+        calls = {"n": 0}
+        real_encode = RSCodec.encode
+
+        def counting_encode(self, buffers):
+            calls["n"] += 1
+            return real_encode(self, buffers)
+
+        monkeypatch.setattr(RSCodec, "encode", counting_encode)
+        assert not verify_group_rs(bufs, parity, n)
+        assert calls["n"] == 1

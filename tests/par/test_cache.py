@@ -1,0 +1,111 @@
+"""Tests for scenario specs, fingerprints and the memo cache (repro.par)."""
+
+import pytest
+
+from repro.par import (
+    MemoCache,
+    ReplayOutcome,
+    ReplaySpec,
+    ScenarioSpec,
+    code_fingerprint,
+    registered_kinds,
+    replay_fingerprint,
+)
+from repro.sim.failures import PhaseTrigger, TimeTrigger
+
+
+def _spec(**overrides):
+    from repro.chaos.scenarios import selfckpt_scenario
+
+    return selfckpt_scenario(**overrides).spec
+
+
+class TestScenarioSpec:
+    def test_kwargs_are_order_canonical(self):
+        a = ScenarioSpec.create("k", x=1, y=2)
+        b = ScenarioSpec.create("k", y=2, x=1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_builtin_kinds_registered_on_import(self):
+        _spec()  # importing repro.chaos.scenarios registers the builders
+        assert {"selfckpt", "skt-hpl"} <= set(registered_kinds())
+
+    def test_build_round_trips_the_spec(self):
+        spec = _spec(n_nodes=2, iters=4)
+        rebuilt = spec.build()
+        assert rebuilt.spec == spec
+        assert rebuilt.params["n_nodes"] == 2
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="no scenario builder"):
+            ScenarioSpec.create("no-such-kind").build()
+
+    def test_custom_protocol_scenario_has_no_spec(self):
+        from repro.chaos.scenarios import selfckpt_scenario
+
+        sc = selfckpt_scenario(protocol_factory=lambda *a, **k: None)
+        assert sc.spec is None
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        spec = ReplaySpec(_spec(), (TimeTrigger(node_id=0, at_time=1.5),))
+        assert replay_fingerprint(spec) == replay_fingerprint(spec)
+
+    def test_sensitive_to_scenario_params(self):
+        t = (TimeTrigger(node_id=0, at_time=1.5),)
+        assert replay_fingerprint(
+            ReplaySpec(_spec(iters=4), t)
+        ) != replay_fingerprint(ReplaySpec(_spec(iters=6), t))
+
+    def test_sensitive_to_triggers(self):
+        spec = _spec()
+        a = ReplaySpec(spec, (TimeTrigger(node_id=0, at_time=1.5),))
+        b = ReplaySpec(
+            spec,
+            (
+                TimeTrigger(node_id=0, at_time=1.5),
+                PhaseTrigger(node_id=1, phase="ckpt.encode"),
+            ),
+        )
+        assert replay_fingerprint(a) != replay_fingerprint(b)
+
+    def test_sensitive_to_schema_version(self, monkeypatch):
+        import repro.par.cache as cache_mod
+
+        spec = ReplaySpec(_spec(), ())
+        before = replay_fingerprint(spec)
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 999)
+        assert replay_fingerprint(spec) != before
+
+    def test_code_fingerprint_is_a_stable_digest(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestMemoCache:
+    def _outcome(self, verdict="survived"):
+        return ReplayOutcome(
+            verdict=verdict, n_restarts=1, makespan_s=12.5, fired=("kill n0",)
+        )
+
+    def test_in_memory_roundtrip(self):
+        cache = MemoCache()
+        assert cache.get("k") is None
+        cache.put("k", self._outcome())
+        assert cache.get("k") == self._outcome()
+        assert len(cache) == 1
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        MemoCache(str(tmp_path)).put("k", self._outcome())
+        assert MemoCache(str(tmp_path)).get("k") == self._outcome()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = MemoCache(str(tmp_path))
+        cache.put("k", self._outcome())
+        (tmp_path / "k.json").write_text("{not json", encoding="utf-8")
+        assert MemoCache(str(tmp_path)).get("k") is None
+
+    def test_outcome_json_roundtrip(self):
+        out = self._outcome(verdict="gave-up")
+        assert ReplayOutcome.from_json(out.to_json()) == out

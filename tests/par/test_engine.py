@@ -1,0 +1,142 @@
+"""Tests for the parallel execution engine (repro.par.engine)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.par import (
+    AUTO_WORKERS_CAP,
+    MemoCache,
+    ParallelEngine,
+    default_workers,
+    resolve_workers,
+)
+
+
+# pool workers unpickle tasks by reference, so the mapped functions must
+# be module-level
+def _square(task):
+    return task * task
+
+
+def _boom_on_three(task):
+    if task == 3:
+        raise ValueError(f"bad task {task}")
+    return task * task
+
+
+class TestResolveWorkers:
+    def test_none_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_int_and_string_forms(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers("3") == 3
+
+    def test_auto_is_bounded(self):
+        n = resolve_workers("auto")
+        assert 1 <= n <= AUTO_WORKERS_CAP
+        assert n == default_workers()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers("-2")
+
+
+class TestMapOrdering:
+    def test_serial_preserves_task_order(self):
+        engine = ParallelEngine(1)
+        assert engine.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_preserves_task_order(self):
+        engine = ParallelEngine(2)
+        tasks = list(range(10))
+        assert engine.map(_square, tasks) == [t * t for t in tasks]
+
+    def test_parallel_equals_serial(self):
+        tasks = [5, 3, 8, 1]
+        assert ParallelEngine(2).map(_square, tasks) == ParallelEngine(1).map(
+            _square, tasks
+        )
+
+    def test_empty_task_list(self):
+        assert ParallelEngine(2).map(_square, []) == []
+
+
+class TestErrorFolding:
+    def test_without_on_error_the_exception_propagates(self):
+        with pytest.raises(ValueError, match="bad task 3"):
+            ParallelEngine(1).map(_boom_on_three, [1, 3])
+
+    def test_on_error_folds_into_the_slot(self):
+        folded = ParallelEngine(1).map(
+            _boom_on_three,
+            [1, 3, 4],
+            on_error=lambda task, exc: ("crashed", task, str(exc)),
+        )
+        assert folded == [1, ("crashed", 3, "bad task 3"), 16]
+
+    def test_on_error_folds_in_pool_workers_too(self):
+        folded = ParallelEngine(2).map(
+            _boom_on_three,
+            [1, 3, 4, 5],
+            on_error=lambda task, exc: ("crashed", task),
+        )
+        assert folded == [1, ("crashed", 3), 16, 25]
+
+
+class TestMemoization:
+    def test_hits_skip_execution(self):
+        cache = MemoCache()
+        key = str
+        cache.put("3", 99)  # pre-classified: must win over _square
+        got = ParallelEngine(1).map(_square, [2, 3], cache=cache, key=key)
+        assert got == [4, 99]
+
+    def test_misses_are_stored(self):
+        cache = MemoCache()
+        ParallelEngine(1).map(_square, [2, 3], cache=cache, key=str)
+        assert cache.get("2") == 4 and cache.get("3") == 9
+
+    def test_error_folded_results_are_never_cached(self):
+        cache = MemoCache()
+        ParallelEngine(1).map(
+            _boom_on_three,
+            [1, 3],
+            cache=cache,
+            key=str,
+            on_error=lambda task, exc: "crashed",
+        )
+        assert cache.get("1") == 1
+        assert cache.get("3") is None  # a crash is not a classification
+
+
+class TestAccounting:
+    def test_metrics_counters(self):
+        registry = MetricsRegistry()
+        cache = MemoCache()
+        cache.put("1", 1)
+        engine = ParallelEngine(1, registry=registry)
+        engine.map(_square, [1, 2, 3], cache=cache, key=str)
+        assert registry.total("par.tasks") == 3
+        assert registry.total("par.cache_hits") == 1
+        assert registry.total("par.cache_misses") == 2
+
+    def test_progress_sees_every_resolution(self):
+        calls = []
+
+        class Probe:
+            def start(self, total, workers):
+                calls.append(("start", total))
+
+            def update(self, done, total, cache_hits, workers):
+                calls.append(("update", done, total))
+
+            def finish(self, done, total, cache_hits, workers):
+                calls.append(("finish", done, total))
+
+        ParallelEngine(1, progress=Probe()).map(_square, [1, 2])
+        assert calls[0] == ("start", 2)
+        assert calls[-1] == ("finish", 2, 2)
+        assert ("update", 2, 2) in calls

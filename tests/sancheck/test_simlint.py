@@ -215,3 +215,35 @@ class TestModuleNames:
         )
         assert module_name_for(Path("src/repro/sim/__init__.py")) == "repro.sim"
         assert module_name_for(Path("/tmp/loose.py")) == "loose"
+
+
+class TestParallel:
+    def test_multiprocessing_import_flagged(self):
+        fs = lint("import multiprocessing\n")
+        assert rules(fs) == ["parallel"]
+        assert "repro.par.ParallelEngine" in fs[0].message
+
+    def test_concurrent_futures_flagged(self):
+        fs = lint(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+        assert rules(fs) == ["parallel"]
+
+    def test_submodule_import_flagged(self):
+        fs = lint("import multiprocessing.pool\n")
+        assert rules(fs) == ["parallel"]
+
+    def test_repro_par_allowed(self):
+        fs = lint("import multiprocessing\n", module="repro.par.engine")
+        assert fs == []
+
+    def test_pragma_escape_hatch(self):
+        fs = lint(
+            "import multiprocessing  # simlint: allow[parallel]\n"
+        )
+        assert fs == []
+
+    def test_plain_concurrent_name_not_flagged(self):
+        # only the concurrent.futures subpackage carries executors
+        fs = lint("import concurrency_helpers\n")
+        assert fs == []
