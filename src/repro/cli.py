@@ -6,7 +6,8 @@ Usage::
     python -m repro fig6
     python -m repro table3
     python -m repro all          # everything (slow: live power-off checks)
-    python -m repro check --all  # sanitizer suite (lint, races, deadlock)
+    python -m repro check --all  # sanitizer suite (lint, flow, races, deadlock)
+    python -m repro check --deep # static gauntlet: lint + whole-program flow
     python -m repro obs --scenario skt-hpl --fail-at panel:3  # profile run
     python -m repro chaos --smoke                # kill-matrix campaign
 

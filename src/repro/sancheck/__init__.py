@@ -1,11 +1,15 @@
 """Simulator sanitizer suite (``repro check ...``).
 
-Three analyses guard the invariants the checkpoint protocols' correctness
+Four analyses guard the invariants the checkpoint protocols' correctness
 arguments assume (see ``docs/SANCHECK.md``):
 
 * :mod:`repro.sancheck.simlint` — static AST lint over the source tree
   (virtual-time-only, runtime-owned threading, seeded RNG, copy-before-
   mutate on MPI results);
+* :mod:`repro.sancheck.flow` — whole-program interprocedural effect/taint
+  analysis verifying the checkpoint-protocol lifecycle (no hidden
+  nondeterminism reachable from ``checkpoint()``/``try_restore()``, no
+  SHM write before the restore decision, kernels stay pure);
 * :mod:`repro.sancheck.races` — a dynamic vector-clock race detector over
   SHM segment accesses;
 * :mod:`repro.sancheck.deadlock` — a dynamic wait-for-graph deadlock
@@ -18,6 +22,7 @@ attach one (or several) to a :class:`~repro.sim.runtime.Job` and read its
 
 from repro.sancheck.deadlock import DeadlockDetector
 from repro.sancheck.findings import Finding, Report
+from repro.sancheck.flow import FlowConfig, analyze_paths
 from repro.sancheck.races import RaceDetector, ShmAccess
 from repro.sancheck.simlint import (
     ALL_RULES,
@@ -36,6 +41,8 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "default_lint_root",
+    "analyze_paths",
+    "FlowConfig",
     "VectorClock",
     "merge_all",
     "RaceDetector",

@@ -4,23 +4,45 @@ Usage::
 
     repro check lint                  # static invariants over the package
     repro check lint --path FILE.py   # ... or over explicit files/dirs
+    repro check flow                  # whole-program effect/taint analysis
     repro check races                 # race-detector self-test + clean run
     repro check deadlock              # deadlock-detector self-test + clean run
     repro check --all                 # everything
+    repro check --deep                # lint + flow (the static gauntlet)
 
-Exit code 0 means every requested analysis ran and produced zero findings
-(and, for the dynamic analyses, the seeded-bug self-tests *did* detect
-their planted bugs).  Anything else exits 1.
+Baseline workflow (``--deep``/``flow``)::
+
+    repro check --deep                      # new findings only (committed
+                                            # baseline subtracts known debt)
+    repro check --deep --update-baseline    # accept the current findings
+    repro check --deep --no-baseline        # everything, baseline ignored
+
+Machine output: ``--sarif out.sarif`` / ``--jsonl out.jsonl`` write the
+full (pre-baseline) finding set in SARIF 2.1.0 / JSON-lines.
+
+Exit codes: **0** — every requested analysis ran and produced zero
+findings at the ``--fail-on`` threshold (``error`` < ``warning`` <
+``any``; default ``any``, the historical contract); **1** — findings;
+**2** — an analyzer crashed (distinct so CI can tell "found a bug" from
+"the checker is broken").
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+import sys
+import traceback
+from pathlib import Path
+from typing import Callable, List, Optional
 
 from repro.sancheck.findings import Finding, Report
 
-ANALYSES = ("lint", "races", "deadlock")
+ANALYSES = ("lint", "flow", "races", "deadlock")
+FAIL_ON_CHOICES = ("error", "warning", "any")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_CRASH = 2
 
 
 def _run_lint(report: Report, paths: Optional[List[str]]) -> None:
@@ -28,6 +50,14 @@ def _run_lint(report: Report, paths: Optional[List[str]]) -> None:
 
     targets = paths or [str(default_lint_root())]
     report.extend(lint_paths(targets), analysis="simlint")
+
+
+def _run_flow(report: Report, paths: Optional[List[str]]) -> None:
+    from repro.sancheck.flow import analyze_paths
+    from repro.sancheck.simlint import default_lint_root
+
+    targets = paths or [str(default_lint_root())]
+    report.extend(analyze_paths(targets), analysis="flow")
 
 
 def _selftest_failure(tool: str, what: str) -> Finding:
@@ -70,12 +100,24 @@ def _run_deadlock(report: Report) -> None:
     report.extend(deadlock.findings, analysis="deadlock")
 
 
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
+    """The baseline file to subtract, or None when disabled/absent."""
+    from repro.sancheck.flow.baseline import default_baseline_path
+
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    return default_baseline_path()
+
+
 def check_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro check",
         description=(
-            "Simulator sanitizer suite: static invariant lint, SHM race "
-            "detection, MPI deadlock detection (see docs/SANCHECK.md)."
+            "Simulator sanitizer suite: static invariant lint, whole-program "
+            "effect/taint analysis, SHM race detection, MPI deadlock "
+            "detection (see docs/SANCHECK.md)."
         ),
     )
     parser.add_argument(
@@ -88,11 +130,51 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         "--all", action="store_true", help="run every analysis"
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="run the static gauntlet (lint + flow) with the committed baseline",
+    )
+    parser.add_argument(
         "--path",
         action="append",
         default=None,
-        help="lint these files/directories instead of the installed package "
-        "(repeatable)",
+        help="analyze these files/directories instead of the installed "
+        "package (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=FAIL_ON_CHOICES,
+        default="any",
+        help="minimum severity that fails the run (default: any finding)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of accepted findings "
+        "(default: benchmarks/sancheck_baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file — report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current static findings and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="write all findings (pre-baseline) as SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="FILE",
+        help="write all findings (pre-baseline) as JSON lines",
     )
     args = parser.parse_args(argv)
 
@@ -101,23 +183,77 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"unknown analyses {unknown}; choose from {', '.join(ANALYSES)}"
         )
-    selected = list(ANALYSES) if args.all else list(args.analyses)
+    selected = list(args.analyses)
+    if args.all:
+        selected = list(ANALYSES)
+    elif args.deep:
+        selected = sorted(set(selected) | {"lint", "flow"}, key=ANALYSES.index)
     if not selected:
-        parser.error("nothing to do: name at least one analysis or pass --all")
+        parser.error(
+            "nothing to do: name at least one analysis or pass --all/--deep"
+        )
+    if args.update_baseline and not ({"lint", "flow"} & set(selected)):
+        parser.error("--update-baseline requires a static analysis (lint/flow)")
     if args.path:
-        from pathlib import Path
-
         missing = [p for p in args.path if not Path(p).exists()]
         if missing:
             parser.error(f"--path does not exist: {', '.join(missing)}")
 
     report = Report()
+    runners: List[Callable[[], None]] = []
     if "lint" in selected:
-        _run_lint(report, args.path)
+        runners.append(lambda: _run_lint(report, args.path))
+    if "flow" in selected:
+        runners.append(lambda: _run_flow(report, args.path))
     if "races" in selected:
-        _run_races(report)
+        runners.append(lambda: _run_races(report))
     if "deadlock" in selected:
-        _run_deadlock(report)
+        runners.append(lambda: _run_deadlock(report))
+    for run in runners:
+        try:
+            run()
+        except Exception:
+            traceback.print_exc()
+            print(
+                "sancheck: analyzer crashed — this is a bug in the checker, "
+                "not a finding",
+                file=sys.stderr,
+            )
+            return EXIT_CRASH
+
+    report.finalize()
+
+    # machine exports carry the full finding set, before baselining
+    if args.sarif:
+        from repro.sancheck.flow.export import write_sarif
+
+        write_sarif(Path(args.sarif), report.findings)
+    if args.jsonl:
+        from repro.sancheck.flow.export import write_jsonl
+
+        write_jsonl(Path(args.jsonl), report.findings)
+
+    static = [f for f in report.findings if f.file]
+    if args.update_baseline:
+        from repro.sancheck.flow.baseline import write_baseline
+
+        path = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else Path.cwd() / "benchmarks" / "sancheck_baseline.json"
+        )
+        write_baseline(path, static)
+        print(f"sancheck: baseline updated with {len(static)} finding(s): {path}")
+        return EXIT_CLEAN
+
+    baseline_path = _resolve_baseline(args)
+    if baseline_path is not None and baseline_path.is_file():
+        from repro.sancheck.flow.baseline import load_baseline, split_by_baseline
+
+        baseline = load_baseline(baseline_path)
+        new, known = split_by_baseline(report.findings, baseline)
+        report.findings = new
+        report.baselined = len(known)
 
     print(report.render())
-    return report.exit_code()
+    return report.exit_code(args.fail_on)

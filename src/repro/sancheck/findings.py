@@ -34,6 +34,12 @@ class Finding:
     ranks: Tuple[int, ...] = ()
     clock: float = 0.0
     detail: str = ""
+    #: ``error`` | ``warning`` | ``note`` — CI gates on ``--fail-on``
+    severity: str = "error"
+
+    def sort_key(self) -> Tuple:
+        """Canonical ordering: byte-stable output across runs/workers."""
+        return (self.file, self.line, self.tool, self.rule, self.message, self.ranks, self.clock)
 
     def location(self) -> str:
         if self.file:
@@ -54,6 +60,8 @@ class Report:
     findings: List[Finding] = field(default_factory=list)
     #: analyses that actually ran (so "0 findings" is meaningful)
     analyses: List[str] = field(default_factory=list)
+    #: pre-existing findings suppressed by the committed baseline
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -70,21 +78,53 @@ class Report:
     def by_tool(self, tool: str) -> List[Finding]:
         return [f for f in self.findings if f.tool == tool]
 
-    def exit_code(self) -> int:
-        return 0 if self.ok else 1
+    def finalize(self) -> "Report":
+        """Sort findings by (file, line, tool, rule, message) and drop
+        exact duplicates, so rendered reports, exports and the baseline
+        file are byte-stable across runs and worker counts."""
+        seen = set()
+        unique: List[Finding] = []
+        for f in sorted(self.findings, key=Finding.sort_key):
+            key = f.sort_key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(f)
+        self.findings = unique
+        return self
+
+    def count(self, fail_on: str = "any") -> int:
+        """Findings that gate the exit code at the given threshold:
+        ``error`` counts only errors, ``warning`` adds warnings, ``any``
+        (the default, and the historical behavior) counts everything."""
+        if fail_on == "error":
+            return sum(1 for f in self.findings if f.severity == "error")
+        if fail_on == "warning":
+            return sum(
+                1 for f in self.findings if f.severity in ("error", "warning")
+            )
+        return len(self.findings)
+
+    def exit_code(self, fail_on: str = "any") -> int:
+        return 0 if self.count(fail_on) == 0 else 1
 
     def render(self) -> str:
         """Human-readable summary: a table of findings plus any details."""
+        self.finalize()
         ran = ", ".join(self.analyses) or "(none)"
+        suffix = f"; {self.baselined} baselined" if self.baselined else ""
         if self.ok:
-            return f"sancheck: 0 findings (analyses: {ran})"
+            return f"sancheck: 0 findings (analyses: {ran}{suffix})"
         rows = [
-            [f.tool, f.rule, f.location(), f.message] for f in self.findings
+            [f.severity, f.tool, f.rule, f.location(), f.message]
+            for f in self.findings
         ]
         table = render_table(
-            ["tool", "rule", "where", "finding"],
+            ["severity", "tool", "rule", "where", "finding"],
             rows,
-            title=f"sancheck — {len(self.findings)} finding(s), analyses: {ran}",
+            title=(
+                f"sancheck — {len(self.findings)} finding(s), "
+                f"analyses: {ran}{suffix}"
+            ),
         )
         details = [f.detail for f in self.findings if f.detail]
         return table if not details else table + "\n\n" + "\n\n".join(details)

@@ -1,0 +1,113 @@
+"""Committed-baseline bookkeeping for static findings.
+
+A whole-program analyzer lands on a tree with history: pre-existing
+violations should not fail CI on day one, but *new* ones must.  The
+baseline file (``benchmarks/sancheck_baseline.json``) records a stable
+fingerprint per accepted finding; ``repro check --deep`` subtracts
+baselined findings from the report and ``--update-baseline`` rewrites
+the file from the current tree.
+
+Fingerprints hash ``(file, tool, rule, message)`` — deliberately *not*
+the line number, so unrelated edits that shift a finding a few lines do
+not churn the baseline.  File paths are already machine-independent
+(``repro/...``-anchored, see :func:`repro.sancheck.flow.callgraph.rel_file`).
+The file is written with sorted entries, fixed key order and a trailing
+newline: regenerating it on an unchanged tree is a byte-level no-op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sancheck.findings import Finding
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_NAME = "sancheck_baseline.json"
+
+
+def fingerprint(f: Finding) -> str:
+    h = hashlib.sha256(
+        f"{f.file}|{f.tool}|{f.rule}|{f.message}".encode("utf-8")
+    )
+    return h.hexdigest()[:16]
+
+
+def default_baseline_path() -> Optional[Path]:
+    """The committed baseline, when findable: ``benchmarks/`` under the
+    current directory or next to the installed ``repro`` package's repo
+    root (source checkouts)."""
+    candidates = [Path.cwd() / "benchmarks" / DEFAULT_BASELINE_NAME]
+    try:
+        import repro
+
+        pkg = Path(repro.__file__).resolve().parent
+        candidates.append(
+            pkg.parent.parent / "benchmarks" / DEFAULT_BASELINE_NAME
+        )
+    except Exception:  # pragma: no cover - repro is always importable here
+        pass
+    for c in candidates:
+        if c.is_file():
+            return c
+    return None
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {doc.get('schema')!r} in {path}"
+        )
+    return {e["fingerprint"]: e for e in doc.get("findings", [])}
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, dict]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined).  Only static findings (those
+    carrying a file) are ever baselined — dynamic race/deadlock findings
+    must always fail."""
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for f in findings:
+        if f.file and fingerprint(f) in baseline:
+            known.append(f)
+        else:
+            new.append(f)
+    return new, known
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    entries = []
+    for f in sorted(
+        (f for f in findings if f.file), key=Finding.sort_key
+    ):
+        entries.append(
+            {
+                "fingerprint": fingerprint(f),
+                "file": f.file,
+                "line": f.line,
+                "tool": f.tool,
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+            }
+        )
+    # a later duplicate fingerprint (same finding at two lines) keeps the
+    # first occurrence only — the fingerprint is the identity
+    seen = set()
+    unique = []
+    for e in entries:
+        if e["fingerprint"] not in seen:
+            seen.add(e["fingerprint"])
+            unique.append(e)
+    doc = {"schema": BASELINE_SCHEMA, "findings": unique}
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(render_baseline(findings), encoding="utf-8")

@@ -1,0 +1,183 @@
+"""The effect lattice: per-function intrinsic effect extraction.
+
+Each analyzed function gets a set of **effects** — the atoms the
+interprocedural propagation (:mod:`repro.sancheck.flow.taint`) unions up
+the call graph.  The lattice is a powerset: bottom is the empty set
+(pure), top is every effect; join is set union, so the fixpoint exists
+and is reached in at most ``|effects| x |functions|`` steps.
+
+Effects carry a *witness*: the concrete call (and line) that introduced
+them, so a verdict at a protocol entry point can print the full chain
+down to the offending ``random.random()`` three modules away.
+
+Unseeded vs. seeded RNG is the load-bearing distinction (paper §5.2:
+restarted ranks must regenerate bit-identical data): ``seeded_rng(seed)``
+/ ``block_rng(seed, *coords)`` / ``default_rng(seed)`` are deterministic
+and *allowed* on recovery paths; bare ``random.*``, legacy global-state
+``numpy.random.*`` and argument-less ``default_rng()`` are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.sancheck.flow.callgraph import SHM_METHODS, FunctionNode
+from repro.sancheck.simlint import (
+    NUMPY_LEGACY_RANDOM,
+    WALLCLOCK_CALLS,
+    _module_allowed,
+)
+
+RNG_UNSEEDED = "reads-rng-unseeded"
+RNG_SEEDED = "reads-rng-seeded"
+WALLCLOCK = "reads-wallclock"
+MUTATES_SHM = "mutates-shm"
+MUTATES_GLOBAL = "mutates-global"
+MPI_SEND = "mpi-send"
+MPI_RECV = "mpi-recv"
+ALLOCATES = "allocates"
+
+ALL_EFFECTS: Tuple[str, ...] = (
+    RNG_UNSEEDED,
+    RNG_SEEDED,
+    WALLCLOCK,
+    MUTATES_SHM,
+    MUTATES_GLOBAL,
+    MPI_SEND,
+    MPI_RECV,
+    ALLOCATES,
+)
+
+#: terminal attribute names that classify unresolved method calls
+MPI_SEND_METHODS = frozenset({"send", "isend", "sendrecv"})
+MPI_RECV_METHODS = frozenset({"recv", "irecv", "sendrecv", "probe"})
+MPI_COLLECTIVE_METHODS = frozenset(
+    {
+        "barrier",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "reduce_obj",
+        "allreduce_obj",
+        "custom_collective",
+    }
+)
+
+#: numpy constructors that allocate fresh buffers
+NUMPY_ALLOCATORS = frozenset(
+    {
+        "numpy.empty",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.arange",
+        "numpy.empty_like",
+        "numpy.zeros_like",
+        "numpy.ones_like",
+        "numpy.full_like",
+        "numpy.array",
+        "numpy.copy",
+        "numpy.frombuffer",
+        "numpy.fromiter",
+        "numpy.ascontiguousarray",
+        "numpy.concatenate",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Why a function has an effect of its own (before propagation)."""
+
+    site: str  # human description, e.g. "random.random()"
+    line: int
+
+
+#: map of function qualname -> {effect: Intrinsic}
+IntrinsicMap = Dict[str, Dict[str, Intrinsic]]
+
+
+def _classify_external(
+    path: str, has_args: bool, module: str, wallclock_allow: Tuple[str, ...], rng_allow: Tuple[str, ...]
+) -> Dict[str, str]:
+    """Effects introduced by one unresolved external call path."""
+    out: Dict[str, str] = {}
+    if path in WALLCLOCK_CALLS and not _module_allowed(module, wallclock_allow):
+        out[WALLCLOCK] = f"{path}()"
+    if not _module_allowed(module, rng_allow):
+        if path == "random" or path.startswith("random."):
+            out[RNG_UNSEEDED] = f"{path}()"
+        elif (
+            path.startswith("numpy.random.")
+            and path.split(".")[-1] in NUMPY_LEGACY_RANDOM
+        ):
+            out[RNG_UNSEEDED] = f"legacy {path}()"
+        elif path == "numpy.random.default_rng":
+            if has_args:
+                out[RNG_SEEDED] = f"{path}(seed)"
+            else:
+                out[RNG_UNSEEDED] = f"unseeded {path}()"
+    elif path == "numpy.random.default_rng":
+        out[RNG_SEEDED] = f"{path}(...)"
+    if path in NUMPY_ALLOCATORS:
+        out[ALLOCATES] = f"{path}()"
+    return out
+
+
+def intrinsic_effects(
+    fn: FunctionNode,
+    wallclock_allow: Tuple[str, ...],
+    rng_allow: Tuple[str, ...],
+) -> Dict[str, Intrinsic]:
+    """The effects a function exhibits through its own body alone."""
+    out: Dict[str, Intrinsic] = {}
+
+    def add(effect: str, site: str, line: int) -> None:
+        prev = out.get(effect)
+        if prev is None or (line, site) < (prev.line, prev.site):
+            out[effect] = Intrinsic(site=site, line=line)
+
+    for path, line, has_args in sorted(fn.external):
+        for effect, site in sorted(
+            _classify_external(
+                path, has_args, fn.module, wallclock_allow, rng_allow
+            ).items()
+        ):
+            add(effect, site, line)
+
+    for name, line in sorted(fn.method_calls):
+        if name in SHM_METHODS:
+            add(MUTATES_SHM, f".{name}(...)", line)
+            if name != "shm_unlink":
+                add(ALLOCATES, f".{name}(...)", line)
+        if name in MPI_SEND_METHODS:
+            add(MPI_SEND, f".{name}(...)", line)
+        if name in MPI_RECV_METHODS:
+            add(MPI_RECV, f".{name}(...)", line)
+        if name in MPI_COLLECTIVE_METHODS:
+            add(MPI_SEND, f".{name}(...)", line)
+            add(MPI_RECV, f".{name}(...)", line)
+
+    for line in sorted(fn.shm_writes):
+        add(MUTATES_SHM, "write through SHM-backed array", line)
+
+    for name, line in sorted(fn.global_writes):
+        add(MUTATES_GLOBAL, f"global {name} = ...", line)
+
+    return out
+
+
+def build_intrinsics(
+    functions: Dict[str, FunctionNode],
+    wallclock_allow: Tuple[str, ...],
+    rng_allow: Tuple[str, ...],
+) -> IntrinsicMap:
+    return {
+        q: intrinsic_effects(functions[q], wallclock_allow, rng_allow)
+        for q in sorted(functions)
+    }

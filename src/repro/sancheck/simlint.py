@@ -46,7 +46,12 @@ tree:
     registry's runtime check ever runs.
 
 Suppression: a line containing ``# simlint: allow`` (all rules) or
-``# simlint: allow[rule1,rule2]`` is exempt.
+``# simlint: allow[rule1,rule2]`` is exempt; ``# simlint:
+disable=rule1,rule2`` is an accepted alias.  A pragma on a function's
+``def`` line also covers the decorator lines above it — findings whose
+AST nodes live inside a decorator expression are attributed to the
+decorator's line, and forcing the pragma onto that line instead would
+split the suppression from the function it documents.
 """
 
 from __future__ import annotations
@@ -141,7 +146,9 @@ PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
 
 ALL_RULES = ("wallclock", "threading", "rng", "recv-mutate", "obs-label", "parallel")
 
-_PRAGMA_RE = re.compile(r"#\s*simlint:\s*allow(?:\[([\w\-,\s]*)\])?")
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*(?:allow|disable)(?:\[([\w\-,\s]*)\]|=([\w\-,\s]+))?"
+)
 
 
 @dataclass(frozen=True)
@@ -182,11 +189,44 @@ def _pragma_lines(source: str) -> Dict[int, Optional[Set[str]]]:
         m = _PRAGMA_RE.search(line)
         if not m:
             continue
-        if m.group(1) is None:
+        rules = m.group(1) if m.group(1) is not None else m.group(2)
+        if rules is None:
             out[i] = None
         else:
-            out[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out[i] = {r.strip() for r in rules.split(",") if r.strip()}
     return out
+
+
+def _merge_pragma(
+    pragmas: Dict[int, Optional[Set[str]]], line: int, rules: Optional[Set[str]]
+) -> None:
+    existing = pragmas.get(line)
+    if line in pragmas and (existing is None or rules is None):
+        pragmas[line] = None
+    elif existing is not None and rules is not None:
+        pragmas[line] = existing | rules
+    else:
+        pragmas[line] = set(rules) if rules is not None else None
+
+
+def _anchor_decorator_pragmas(
+    tree: ast.AST, pragmas: Dict[int, Optional[Set[str]]]
+) -> None:
+    """A pragma on a decorated ``def``/``class`` line also suppresses
+    findings attributed to its decorator lines — decorator expressions
+    carry their own linenos, which is where call findings land."""
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list or node.lineno not in pragmas:
+            continue
+        rules = pragmas[node.lineno]
+        for dec in node.decorator_list:
+            end = getattr(dec, "end_lineno", None) or dec.lineno
+            for line in range(dec.lineno, end + 1):
+                _merge_pragma(pragmas, line, rules)
 
 
 class _ImportResolver(ast.NodeVisitor):
@@ -488,9 +528,11 @@ def lint_source(
         ]
     imports = _ImportResolver()
     imports.visit(tree)
-    linter = _Linter(module, filename, config, _pragma_lines(source), imports)
+    pragmas = _pragma_lines(source)
+    _anchor_decorator_pragmas(tree, pragmas)
+    linter = _Linter(module, filename, config, pragmas, imports)
     linter.visit(tree)
-    return sorted(linter.findings, key=lambda f: (f.file, f.line))
+    return sorted(linter.findings, key=lambda f: (f.file, f.line, f.rule, f.message))
 
 
 def iter_python_files(paths: Iterable[Path]) -> List[Path]:

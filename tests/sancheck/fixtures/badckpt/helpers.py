@@ -1,0 +1,17 @@
+"""Deliberately nondeterministic helpers for the flow-analyzer fixture.
+
+The violations live here, one module away from the protocol class that
+calls them — the whole point of the interprocedural pass is that hiding
+``random``/``time`` behind an innocent-looking helper does not help.
+"""
+
+import random
+import time
+
+
+def jitter():
+    return random.random() * 1e-6
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,13 @@
+"""An impure "kernel" module (fixture).
+
+The module is named ``stripes`` so the flow analyzer treats it as an
+encode/reconstruct kernel; kernels are documented pure, and this one
+reads the wall clock.
+"""
+
+import time
+
+
+def encode_stripe(block):
+    started = time.time()
+    return block, started

@@ -1,0 +1,161 @@
+"""Tests for the ``repro check`` exit-code/baseline/export contract."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURE = str(Path(__file__).parent / "fixtures" / "badckpt")
+
+WARN_ONLY = """\
+    class QuietCheckpoint:
+        def __init__(self, ctx, comm):
+            self.comm = comm
+            self._b = ctx.shm_create("b", 64).array
+
+        def checkpoint(self):
+            self.comm.barrier()
+
+        def try_restore(self):
+            return bool(self.comm.allgather(True))
+
+        def scribble(self):
+            self._b[0] = 1
+    """
+
+
+def write_warn_only(tmp_path):
+    p = tmp_path / "quiet.py"
+    p.write_text(textwrap.dedent(WARN_ONLY))
+    return str(p)
+
+
+class TestExitCodes:
+    def test_flow_fixture_fails(self, capsys):
+        assert main(["check", "flow", "--path", FIXTURE, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "flow-nondet" in out
+        assert "lifecycle-premature-write" in out
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path, capsys):
+        quiet = write_warn_only(tmp_path)
+        args = ["check", "flow", "--path", quiet, "--no-baseline"]
+        assert main(args + ["--fail-on", "error"]) == 0
+        assert main(args + ["--fail-on", "warning"]) == 1
+        assert main(args) == 1  # default: any finding fails
+        out = capsys.readouterr().out
+        assert "lifecycle-phase-escape" in out
+
+    def test_analyzer_crash_exits_2(self, monkeypatch, capsys):
+        def boom(report, paths):
+            raise RuntimeError("seeded crash")
+
+        monkeypatch.setattr("repro.sancheck.cli._run_flow", boom)
+        assert main(["check", "flow"]) == 2
+        assert "analyzer crashed" in capsys.readouterr().err
+
+    def test_deep_clean_on_shipped_tree(self, capsys):
+        """Acceptance: ``repro check --deep --fail-on error`` is clean on
+        main (modulo the committed baseline)."""
+        assert main(["check", "--deep", "--fail-on", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "simlint" in out and "flow" in out
+
+    def test_deep_requires_an_analysis_list_or_flag(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+
+class TestBaselineWorkflow:
+    def test_update_then_subtract(self, tmp_path, capsys):
+        bl = str(tmp_path / "bl.json")
+        assert (
+            main(
+                [
+                    "check",
+                    "flow",
+                    "--path",
+                    FIXTURE,
+                    "--update-baseline",
+                    "--baseline",
+                    bl,
+                ]
+            )
+            == 0
+        )
+        assert "baseline updated" in capsys.readouterr().out
+        doc = json.loads(Path(bl).read_text())
+        assert doc["schema"] == 1 and len(doc["findings"]) == 6
+
+        # with every finding accepted, the same analysis is green
+        assert (
+            main(["check", "flow", "--path", FIXTURE, "--baseline", bl]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 findings" in out and "6 baselined" in out
+
+    def test_no_baseline_overrides_the_file(self, tmp_path, capsys):
+        bl = str(tmp_path / "bl.json")
+        main(
+            [
+                "check",
+                "flow",
+                "--path",
+                FIXTURE,
+                "--update-baseline",
+                "--baseline",
+                bl,
+            ]
+        )
+        capsys.readouterr()
+        args = ["check", "flow", "--path", FIXTURE, "--baseline", bl]
+        assert main(args + ["--no-baseline"]) == 1
+
+    def test_update_baseline_requires_static_analysis(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["check", "races", "--update-baseline"])
+
+
+class TestExports:
+    def test_sarif_and_jsonl_carry_prebaseline_findings(self, tmp_path, capsys):
+        bl = str(tmp_path / "bl.json")
+        sarif = tmp_path / "out.sarif"
+        jsonl = tmp_path / "out.jsonl"
+        main(
+            [
+                "check",
+                "flow",
+                "--path",
+                FIXTURE,
+                "--update-baseline",
+                "--baseline",
+                bl,
+            ]
+        )
+        capsys.readouterr()
+        # baselined to green — the machine exports still carry everything
+        assert (
+            main(
+                [
+                    "check",
+                    "flow",
+                    "--path",
+                    FIXTURE,
+                    "--baseline",
+                    bl,
+                    "--sarif",
+                    str(sarif),
+                    "--jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(sarif.read_text())
+        assert len(doc["runs"][0]["results"]) == 6
+        assert len(jsonl.read_text().splitlines()) == 6

@@ -1,0 +1,199 @@
+"""Golden tests for the SARIF/JSONL exporters and the baseline file.
+
+These formats are contracts with CI and with future runs of the tool
+itself (the baseline must be byte-stable or every run churns it), so
+the tests pin shapes and round-trips, not just "it doesn't crash".
+"""
+
+import json
+from pathlib import Path
+
+from repro.sancheck.findings import Finding, Report
+from repro.sancheck.flow import analyze_paths
+from repro.sancheck.flow.baseline import (
+    BASELINE_SCHEMA,
+    fingerprint,
+    load_baseline,
+    render_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.sancheck.flow.export import (
+    finding_to_dict,
+    to_jsonl,
+    to_sarif,
+    write_jsonl,
+    write_sarif,
+)
+
+import pytest
+
+FIXTURE = Path(__file__).parent / "fixtures" / "badckpt"
+
+
+def sample_findings():
+    return [
+        Finding(
+            tool="flow",
+            rule="flow-nondet",
+            severity="error",
+            message="checkpoint() can reach unseeded RNG",
+            file="repro/ckpt/x.py",
+            line=10,
+        ),
+        Finding(
+            tool="flow",
+            rule="lifecycle-phase-escape",
+            severity="warning",
+            message="scribble() mutates SHM outside the lifecycle",
+            file="repro/ckpt/x.py",
+            line=30,
+        ),
+        Finding(
+            tool="race",
+            rule="shm-race",
+            severity="error",
+            message="unsynchronized write",
+            ranks=(0, 1),
+            clock=1.5,
+        ),
+    ]
+
+
+class TestJsonl:
+    def test_fixed_key_order(self):
+        d = finding_to_dict(sample_findings()[0])
+        assert list(d) == ["tool", "rule", "severity", "file", "line", "message"]
+
+    def test_dynamic_finding_carries_ranks_and_clock(self):
+        d = finding_to_dict(sample_findings()[2])
+        assert d["ranks"] == [0, 1] and d["clock"] == 1.5
+
+    def test_round_trip(self):
+        fs = sample_findings()
+        lines = to_jsonl(fs).splitlines()
+        assert len(lines) == len(fs)
+        parsed = [json.loads(line) for line in lines]
+        # output is sorted by the canonical key: dynamic findings
+        # (file == "") sort first
+        assert [p["rule"] for p in parsed] == [
+            "shm-race",
+            "flow-nondet",
+            "lifecycle-phase-escape",
+        ]
+
+    def test_write_jsonl(self, tmp_path):
+        out = tmp_path / "nested" / "findings.jsonl"
+        write_jsonl(out, sample_findings())
+        assert len(out.read_text().splitlines()) == 3
+
+
+class TestSarif:
+    def test_structure(self):
+        doc = to_sarif(sample_findings())
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-sancheck"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "flow/flow-nondet" in rule_ids
+        assert "race/shm-race" in rule_ids
+
+    def test_levels_and_locations(self):
+        doc = to_sarif(sample_findings())
+        results = doc["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        assert by_rule["flow/flow-nondet"]["level"] == "error"
+        assert by_rule["flow/lifecycle-phase-escape"]["level"] == "warning"
+        loc = by_rule["flow/flow-nondet"]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "repro/ckpt/x.py"
+        assert loc["region"]["startLine"] == 10
+        # dynamic findings have no file, hence no location block
+        assert "locations" not in by_rule["race/shm-race"]
+
+    def test_write_sarif_round_trip(self, tmp_path):
+        out = tmp_path / "out.sarif"
+        write_sarif(out, analyze_paths([FIXTURE]))
+        doc = json.loads(out.read_text())
+        assert len(doc["runs"][0]["results"]) == 6
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        fs = sample_findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, fs)
+        baseline = load_baseline(path)
+        new, known = split_by_baseline(fs, baseline)
+        # static findings baselined; the dynamic race finding never is
+        assert [f.rule for f in new] == ["shm-race"]
+        assert len(known) == 2
+
+    def test_fingerprint_survives_line_drift(self):
+        f = sample_findings()[0]
+        moved = Finding(
+            tool=f.tool,
+            rule=f.rule,
+            severity=f.severity,
+            message=f.message,
+            file=f.file,
+            line=f.line + 7,
+        )
+        assert fingerprint(f) == fingerprint(moved)
+
+    def test_fingerprint_changes_with_message(self):
+        f = sample_findings()[0]
+        other = Finding(
+            tool=f.tool,
+            rule=f.rule,
+            message=f.message + " (worse)",
+            file=f.file,
+            line=f.line,
+        )
+        assert fingerprint(f) != fingerprint(other)
+
+    def test_regeneration_is_a_byte_noop(self, tmp_path):
+        fs = analyze_paths([FIXTURE])
+        path = tmp_path / "baseline.json"
+        write_baseline(path, fs)
+        first = path.read_bytes()
+        write_baseline(path, analyze_paths([FIXTURE]))
+        assert path.read_bytes() == first
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_schema_constant_in_rendered_doc(self):
+        doc = json.loads(render_baseline(sample_findings()))
+        assert doc["schema"] == BASELINE_SCHEMA
+
+
+class TestReportFinalize:
+    def test_sorts_and_dedups(self):
+        fs = sample_findings()
+        report = Report(findings=[fs[1], fs[0], fs[1], fs[2]])
+        report.finalize()
+        assert [f.rule for f in report.findings] == [
+            "shm-race",
+            "flow-nondet",
+            "lifecycle-phase-escape",
+        ]
+
+    def test_fail_on_thresholds(self):
+        report = Report(findings=sample_findings())
+        assert report.count("error") == 2
+        assert report.count("warning") == 3
+        assert report.count("any") == 3
+        warn_only = Report(
+            findings=[f for f in sample_findings() if f.severity == "warning"]
+        )
+        assert warn_only.exit_code("error") == 0
+        assert warn_only.exit_code("warning") == 1
+        assert warn_only.exit_code() == 1
+
+    def test_rendered_report_is_byte_stable(self):
+        a = Report(findings=analyze_paths([FIXTURE]))
+        b = Report(findings=analyze_paths([FIXTURE]))
+        assert a.render() == b.render()

@@ -1,0 +1,177 @@
+"""Tests for the whole-program effect/taint analyzer (repro.sancheck.flow).
+
+The fixture package at ``tests/sancheck/fixtures/badckpt`` seeds one of
+every violation class the analyzer promises to catch; the assertions
+here are exact so a regression in any pass (call graph, intrinsic
+effects, propagation, lifecycle rules) shows up as a missing or extra
+finding, not a vague count change.
+"""
+
+from pathlib import Path
+
+from repro.sancheck import default_lint_root
+from repro.sancheck.flow import (
+    FlowConfig,
+    RNG_UNSEEDED,
+    WALLCLOCK,
+    analyze_paths,
+    build_index,
+    propagate,
+)
+from repro.sancheck.flow.effects import build_intrinsics
+from repro.sancheck.flow.export import to_jsonl
+from repro.sancheck.flow.lifecycle import kernel_functions, protocol_classes
+
+FIXTURE = Path(__file__).parent / "fixtures" / "badckpt"
+
+
+def fixture_findings():
+    return analyze_paths([FIXTURE])
+
+
+def by_rule(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f)
+    return out
+
+
+class TestIndex:
+    def test_fixture_classes_and_shm_attrs(self):
+        index = build_index([FIXTURE])
+        cls = index.classes["proto.EvilCheckpoint"]
+        assert cls.shm_attrs == {"_b", "_ctrl"}
+        assert {"checkpoint", "try_restore", "_wipe", "scribble"} <= set(
+            cls.methods
+        )
+
+    def test_cross_module_calls_resolve(self):
+        index = build_index([FIXTURE])
+        ckpt = index.functions["proto.EvilCheckpoint.checkpoint"]
+        callees = {q for q, _line in ckpt.calls}
+        assert "helpers.jitter" in callees
+        assert "proto.EvilCheckpoint.gen_block" in callees
+
+    def test_duck_typed_protocol_detected_structurally(self):
+        index = build_index([FIXTURE])
+        assert protocol_classes(index, "Checkpointer") == [
+            "proto.EvilCheckpoint"
+        ]
+
+    def test_kernel_module_detected_by_name(self):
+        index = build_index([FIXTURE])
+        assert kernel_functions(index, ("stripes",)) == [
+            "stripes.encode_stripe"
+        ]
+
+
+class TestPropagation:
+    def test_unseeded_default_argument_is_its_own_source(self):
+        """Violation 3 of the fixture: ``gen_block``'s default argument
+        alone makes it an RNG source, independent of ``jitter``."""
+        config = FlowConfig()
+        index = build_index([FIXTURE])
+        summaries = propagate(
+            index,
+            build_intrinsics(
+                index.functions, config.wallclock_allow, config.rng_allow
+            ),
+        )
+        w = summaries["proto.EvilCheckpoint.gen_block"][RNG_UNSEEDED]
+        assert "default_rng" in w.site
+
+    def test_wallclock_taints_through_helper_module(self):
+        config = FlowConfig()
+        index = build_index([FIXTURE])
+        summaries = propagate(
+            index,
+            build_intrinsics(
+                index.functions, config.wallclock_allow, config.rng_allow
+            ),
+        )
+        w = summaries["proto.EvilCheckpoint.try_restore"][WALLCLOCK]
+        assert w.chain[-1] == "helpers.stamp"
+
+
+class TestFindings:
+    def test_exact_rule_counts(self):
+        rules = {r: len(fs) for r, fs in by_rule(fixture_findings()).items()}
+        assert rules == {
+            "flow-nondet": 2,
+            "flow-kernel-nondet": 1,
+            "lifecycle-premature-write": 2,
+            "lifecycle-phase-escape": 1,
+        }
+
+    def test_severities(self):
+        fs = fixture_findings()
+        warnings = [f for f in fs if f.severity == "warning"]
+        assert [f.rule for f in warnings] == ["lifecycle-phase-escape"]
+        assert all(
+            f.severity == "error"
+            for f in fs
+            if f.rule != "lifecycle-phase-escape"
+        )
+
+    def test_hidden_rng_witness_names_the_helper(self):
+        nondet = by_rule(fixture_findings())["flow-nondet"]
+        rng = [f for f in nondet if "unseeded RNG" in f.message]
+        assert len(rng) == 1
+        assert "checkpoint" in rng[0].message
+        assert "jitter" in rng[0].message  # the full chain, not just the sink
+
+    def test_cross_module_wallclock_witness(self):
+        nondet = by_rule(fixture_findings())["flow-nondet"]
+        wc = [f for f in nondet if "wall clock" in f.message]
+        assert len(wc) == 1
+        assert "try_restore" in wc[0].message
+        assert "stamp" in wc[0].message
+
+    def test_premature_writes_stop_at_the_status_exchange(self):
+        fs = by_rule(fixture_findings())["lifecycle-premature-write"]
+        # the two pre-exchange writes, and ONLY those — the post-allgather
+        # write on line 43 must not be flagged
+        assert sorted(f.line for f in fs) == [40, 41]
+
+    def test_phase_escape_names_the_method(self):
+        (f,) = by_rule(fixture_findings())["lifecycle-phase-escape"]
+        assert "scribble" in f.message
+
+    def test_kernel_nondet(self):
+        (f,) = by_rule(fixture_findings())["flow-kernel-nondet"]
+        assert f.file == "badckpt/stripes.py"
+        assert "encode_stripe" in f.message
+
+
+class TestDeterminism:
+    def test_byte_identical_across_runs(self):
+        """Acceptance: two consecutive analyses of the same tree must
+        render byte-identically."""
+        a = to_jsonl(fixture_findings())
+        b = to_jsonl(fixture_findings())
+        assert a == b
+
+    def test_findings_arrive_sorted(self):
+        fs = fixture_findings()
+        keys = [f.sort_key() for f in fs]
+        assert keys == sorted(keys)
+
+
+class TestRealTree:
+    def test_shipped_package_has_no_errors(self):
+        """The shipped protocols must satisfy their own lifecycle
+        discipline (warnings may exist; errors may not)."""
+        fs = analyze_paths([default_lint_root()])
+        assert [f for f in fs if f.severity == "error"] == []
+
+    def test_all_shipped_protocols_are_seen(self):
+        index = build_index([default_lint_root()])
+        names = {q.split(".")[-1] for q in protocol_classes(index, "Checkpointer")}
+        # nominal subclasses AND the duck-typed protocols
+        assert {
+            "SelfCheckpoint",
+            "SelfCheckpointRS",
+            "DoubleCheckpoint",
+            "MultiLevelCheckpoint",
+            "DiskCheckpoint",
+        } <= names

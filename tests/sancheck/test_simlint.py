@@ -47,6 +47,61 @@ class TestWallclock:
         assert rules(fs) == ["wallclock"]
 
 
+class TestPragmaAnchoring:
+    DECORATED = """\
+        import time
+
+
+        def stamp_at(t):
+            def deco(fn):
+                return fn
+            return deco
+
+
+        @stamp_at(time.time()){pragma_dec}
+        def f():{pragma_def}
+            return 1
+        """
+
+    def decorated(self, pragma_def="", pragma_dec=""):
+        return lint(
+            self.DECORATED.format(pragma_def=pragma_def, pragma_dec=pragma_dec)
+        )
+
+    def test_finding_lands_on_the_decorator_line(self):
+        fs = self.decorated()
+        assert rules(fs) == ["wallclock"]
+        assert fs[0].line == 10  # the @stamp_at(...) line, not the def
+
+    def test_def_line_pragma_covers_decorator_lines(self):
+        assert self.decorated(pragma_def="  # simlint: allow[wallclock]") == []
+
+    def test_disable_spelling_accepted(self):
+        assert self.decorated(pragma_def="  # simlint: disable=wallclock") == []
+
+    def test_bare_disable_covers_all_rules(self):
+        assert self.decorated(pragma_def="  # simlint: disable") == []
+
+    def test_def_line_pragma_stays_rule_specific(self):
+        fs = self.decorated(pragma_def="  # simlint: disable=rng")
+        assert rules(fs) == ["wallclock"]
+
+    def test_decorator_line_pragma_still_works(self):
+        assert self.decorated(pragma_dec="  # simlint: disable=wallclock") == []
+
+    def test_disable_suppresses_plain_statement(self):
+        fs = lint("import time\ntime.sleep(1)  # simlint: disable=wallclock\n")
+        assert fs == []
+
+    def test_def_pragma_merges_with_decorator_pragma(self):
+        # rule sets on the def line and the decorator line union together
+        fs = self.decorated(
+            pragma_def="  # simlint: disable=wallclock",
+            pragma_dec="  # simlint: disable=rng",
+        )
+        assert fs == []
+
+
 class TestThreading:
     def test_lock_flagged(self):
         fs = lint("import threading\nlock = threading.Lock()\n")
