@@ -100,6 +100,9 @@ class KillResult:
     makespan_s: float
     gave_up_reason: Optional[str] = None
     fired: List[str] = field(default_factory=list)
+    #: per-attempt observability payload (``--obs summary/full``); never
+    #: serialized into ``BENCH_chaos.json`` — it flows to the trace store
+    obs: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -110,6 +113,16 @@ class BaselineProbe:
     ranklist: List[int]
     #: (node_id, phase) -> announcements over the whole fault-free run
     phase_counts: Dict[Tuple[int, str], int]
+    #: (node_id, phase) -> every announcement as ``(clock, rank,
+    #: rank_local_occurrence)`` in virtual-clock order (rank id breaks
+    #: same-instant ties).  This is the node-wide announcement schedule a
+    #: kill point indexes into: with several ranks per node the *runtime's*
+    #: node-wide count is incremented in host-scheduler order, so the probe
+    #: records the deterministic virtual order and :func:`point_trigger`
+    #: pins each trigger to the concrete announcement it resolves to.
+    announcements: Dict[Tuple[int, str], List[Tuple[float, int, int]]] = field(
+        default_factory=dict
+    )
 
     @property
     def nodes(self) -> List[int]:
@@ -183,11 +196,23 @@ def probe_baseline(scenario: ChaosScenario) -> BaselineProbe:
         )
     counts: Dict[Tuple[int, str], int] = {}
     ranklist = list(job.ranklist)
-    for e in trace.events:
+    announcements: Dict[Tuple[int, str], List[Tuple[float, int, int]]] = {}
+    rank_local: Dict[Tuple[int, str], int] = {}
+    for e in trace.events:  # per-rank subsequences are in program order
         key = (ranklist[e.rank], e.label)
         counts[key] = counts.get(key, 0) + 1
+        lkey = (e.rank, e.label)
+        rank_local[lkey] = rank_local.get(lkey, 0) + 1
+        announcements.setdefault(key, []).append(
+            (e.clock, e.rank, rank_local[lkey])
+        )
+    for ann in announcements.values():
+        ann.sort()
     return BaselineProbe(
-        makespan_s=result.makespan, ranklist=ranklist, phase_counts=counts
+        makespan_s=result.makespan,
+        ranklist=ranklist,
+        phase_counts=counts,
+        announcements=announcements,
     )
 
 
@@ -222,12 +247,20 @@ def enumerate_kill_points(
 
 
 def run_with_triggers(
-    scenario: ChaosScenario, triggers: Sequence[AnyTrigger]
+    scenario: ChaosScenario,
+    triggers: Sequence[AnyTrigger],
+    *,
+    tracer: Any = None,
+    observer: Any = None,
 ) -> Tuple[ScenarioInstance, FailurePlan, DaemonReport]:
     """Replay the scenario under the daemon with the given triggers armed.
 
     The shared building block of the kill matrix, the randomized campaigns
     and the shrinker: fresh instance, fresh plan, one supervised run.
+    ``tracer``/``observer`` (a :class:`~repro.obs.spans.SpanTracer` and a
+    :class:`~repro.obs.metrics.MetricsObserver`) instrument the attempt —
+    both ride virtual clocks only, so an instrumented replay produces the
+    same verdict, restart count and makespan as a bare one.
 
     A rank raising a non-simulated exception (a protocol bug tripped by
     the injected failure) would normally propagate out of the runtime;
@@ -236,6 +269,8 @@ def run_with_triggers(
     aborting the whole matrix.
     """
     inst = scenario.make()
+    if observer is not None and hasattr(observer, "watch_cluster"):
+        observer.watch_cluster(inst.cluster)
     plan = FailurePlan(list(triggers))
     daemon = JobDaemon(
         inst.cluster,
@@ -245,6 +280,8 @@ def run_with_triggers(
         procs_per_node=inst.procs_per_node,
         failure_plan=plan,
         policy=inst.policy,
+        observer=observer,
+        tracer=tracer,
         name="chaos",
     )
     try:
@@ -276,11 +313,71 @@ def classify(
     return VERDICT_GAVE_UP
 
 
-def point_trigger(point: KillPoint) -> PhaseTrigger:
-    """The phase trigger that kills exactly at this matrix point."""
+def point_trigger(
+    point: KillPoint, probe: Optional[BaselineProbe] = None
+) -> PhaseTrigger:
+    """The phase trigger that kills exactly at this matrix point.
+
+    With a ``probe``, the node-wide occurrence is resolved against the
+    fault-free announcement schedule and the trigger is *pinned*
+    (``via_rank``/``via_occurrence``) to the concrete announcement it
+    indexes in virtual-clock order.  The killed run's fault-free prefix is
+    identical to the probe, so the pin lands on the same announcement —
+    but now deterministically, where an unpinned trigger on a
+    several-ranks-per-node node counts announcements in host-scheduler
+    order and its fire clock jitters by the inter-rank skew.  Artifacts
+    are unaffected either way (the provenance reports the node-wide
+    count); the pin is what makes the doomed attempt's *telemetry* — span
+    tails, encoded bytes, makespan epsilons — byte-stable.
+    """
+    if probe is not None:
+        ann = probe.announcements.get((point.node_id, point.phase))
+        if ann and len(ann) >= point.occurrence:
+            clock, rank, local = ann[point.occurrence - 1]
+            return PhaseTrigger(
+                node_id=point.node_id,
+                phase=point.phase,
+                occurrence=point.occurrence,
+                via_rank=rank,
+                via_occurrence=local,
+                fire_clock=clock,
+                doom_points=_doom_points(probe, point.node_id, clock, rank),
+            )
     return PhaseTrigger(
         node_id=point.node_id, phase=point.phase, occurrence=point.occurrence
     )
+
+
+def _doom_points(
+    probe: BaselineProbe, node_id: int, fire_clock: float, via_rank: int
+) -> Tuple[Tuple[int, str, int], ...]:
+    """Each sibling rank's first announcement at-or-after the kill.
+
+    Merges the node's announcement streams across phases into one
+    virtual-clock order (rank id breaks same-instant ties) and, for every
+    rank of the node other than ``via_rank``, picks its first announcement
+    strictly after the pinned one — the deterministic point where that
+    rank observes the power-off.  A rank with no later announcement (or
+    none at all) gets a ``phase=""`` wait-only entry: it can only die
+    inside a communicator wait, but stays exempt from the clock fallback.
+    """
+    merged: List[Tuple[float, int, int, str]] = []
+    for (nid, phase), anns in probe.announcements.items():
+        if nid != node_id:
+            continue
+        for clock, rank, local in anns:
+            merged.append((clock, rank, local, phase))
+    merged.sort()
+    dooms: Dict[int, Tuple[int, str, int]] = {}
+    for clock, rank, local, phase in merged:
+        if rank == via_rank or rank in dooms:
+            continue
+        if (clock, rank) > (fire_clock, via_rank):
+            dooms[rank] = (rank, phase, local)
+    for rank, nid in enumerate(probe.ranklist):
+        if nid == node_id and rank != via_rank and rank not in dooms:
+            dooms[rank] = (rank, "", 0)
+    return tuple(dooms[r] for r in sorted(dooms))
 
 
 def _kill_result(point: KillPoint, outcome: ReplayOutcome) -> KillResult:
@@ -291,12 +388,19 @@ def _kill_result(point: KillPoint, outcome: ReplayOutcome) -> KillResult:
         makespan_s=outcome.makespan_s,
         gave_up_reason=outcome.gave_up_reason,
         fired=list(outcome.fired),
+        obs=outcome.obs,
     )
 
 
-def run_kill_point(scenario: ChaosScenario, point: KillPoint) -> KillResult:
+def run_kill_point(
+    scenario: ChaosScenario,
+    point: KillPoint,
+    *,
+    obs: str = "off",
+    probe: Optional[BaselineProbe] = None,
+) -> KillResult:
     """Replay the scenario, killing the node at exactly this announcement."""
-    outcome = replay_scenario(scenario, (point_trigger(point),))
+    outcome = replay_scenario(scenario, (point_trigger(point, probe),), obs=obs)
     return _kill_result(point, outcome)
 
 
@@ -308,6 +412,8 @@ def replay_kill_points(
     cache: Any = None,
     registry: Any = None,
     progress: Any = None,
+    obs: str = "off",
+    probe: Optional[BaselineProbe] = None,
 ) -> List[KillResult]:
     """Replay every kill point, optionally fanned out over worker processes.
 
@@ -317,7 +423,11 @@ def replay_kill_points(
     serial sweep.  ``cache`` (a :class:`~repro.par.cache.MemoCache`)
     skips points whose fingerprint was already classified.  A replay that
     raises is folded into its own ``gave-up`` result rather than aborting
-    the matrix.
+    the matrix.  ``obs`` ("off" | "summary" | "full") arms per-attempt
+    instrumentation whose payload rides back in :attr:`KillResult.obs`
+    (part of the cache fingerprint, so modes never share entries).
+    ``probe`` pins each trigger to its probe-resolved announcement (see
+    :func:`point_trigger`).
     """
     engine = ParallelEngine(workers, registry=registry, progress=progress)
     if scenario.spec is None:
@@ -327,12 +437,17 @@ def replay_kill_points(
                 "(custom factory/protocol closure); run it with workers=1"
             )
         outcomes = engine.map(
-            lambda pt: replay_scenario(scenario, (point_trigger(pt),)),
+            lambda pt: replay_scenario(
+                scenario, (point_trigger(pt, probe),), obs=obs
+            ),
             points,
             on_error=crash_outcome,
         )
         return [_kill_result(pt, out) for pt, out in zip(points, outcomes)]
-    specs = [ReplaySpec(scenario.spec, (point_trigger(pt),)) for pt in points]
+    specs = [
+        ReplaySpec(scenario.spec, (point_trigger(pt, probe),), obs=obs)
+        for pt in points
+    ]
     outcomes = engine.map(
         replay,
         specs,
@@ -354,6 +469,7 @@ def run_kill_matrix(
     workers: int = 1,
     cache: Any = None,
     progress: Any = None,
+    obs: str = "off",
 ) -> CampaignReport:
     """Sweep the exhaustive kill matrix and report per-point verdicts.
 
@@ -380,6 +496,8 @@ def run_kill_matrix(
         cache=cache,
         registry=registry,
         progress=progress,
+        obs=obs,
+        probe=probe,
     )
     if registry is not None:
         registry.counter("chaos.kill_points").inc(len(points))

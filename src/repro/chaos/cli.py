@@ -138,6 +138,17 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         "addressed; invalidates automatically when the source changes)",
     )
     parser.add_argument(
+        "--obs", choices=("off", "summary", "full"), default="off",
+        help="per-attempt observability sampling: 'summary' ships a flat "
+        "rollup per replay, 'full' the complete span/metric streams "
+        "(default: off — artifacts are byte-identical to pre-obs runs)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DB",
+        help="SQLite trace store for the campaign's attempts (default: "
+        "<out>/obs.sqlite when --obs is on; query with 'repro obs query')",
+    )
+    parser.add_argument(
         "--no-progress", action="store_true",
         help="suppress the stderr progress/throughput line",
     )
@@ -187,12 +198,21 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     cache = MemoCache(args.cache) if args.cache else MemoCache()
     progress = None if args.no_progress else ProgressReporter(label="chaos")
 
+    store_path = args.store
+    if store_path is None and args.obs != "off" and not args.report_only:
+        store_path = os.path.join(args.out, "obs.sqlite")
+
     matrices = []
     schedules = None
     shrinks = None
+    scenarios_by_matrix = []
+    probes_by_matrix = []
+    random_scenario = None
     for method in methods:
         scenario = _build_scenario(args, method)
         probe = probe_baseline(scenario)
+        scenarios_by_matrix.append(scenario)
+        probes_by_matrix.append(probe)
         matrices.append(
             run_kill_matrix(
                 scenario,
@@ -202,6 +222,7 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 workers=workers,
                 cache=cache,
                 progress=progress,
+                obs=args.obs,
             )
         )
         if args.random and method == methods[0]:
@@ -210,6 +231,7 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 mtbf_scale=args.mtbf_scale,
             )
+            random_scenario = scenario
             schedules = random_campaign(
                 scenario,
                 cfg,
@@ -218,6 +240,7 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 workers=workers,
                 cache=cache,
                 progress=progress,
+                obs=args.obs,
             )
             if args.shrink:
                 shrinks = shrink_failures(
@@ -248,6 +271,36 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"wrote report: {report_path}")
         print(f"wrote bench: {bench_path}")
+
+    if store_path is not None:
+        from repro.obs.store import (
+            TraceStore,
+            campaign_id_for,
+            ingest_kill_matrix,
+            ingest_schedules,
+        )
+
+        cid = campaign_id_for(args.seed, args.scenario, methods)
+        with TraceStore(store_path) as store:
+            ord_ = 0
+            for scenario, probe, rep in zip(
+                scenarios_by_matrix, probes_by_matrix, matrices
+            ):
+                ord_ = ingest_kill_matrix(
+                    store, cid, scenario, rep,
+                    seed=args.seed, obs_mode=args.obs, ord_base=ord_,
+                    probe=probe,
+                )
+            if schedules is not None and random_scenario is not None:
+                ord_ = ingest_schedules(
+                    store, cid, random_scenario, schedules,
+                    seed=args.seed, obs_mode=args.obs, ord_base=ord_,
+                )
+            n_runs, digest = store.counts()["runs"], store.digest()
+        print(
+            f"stored campaign {cid} in {store_path} "
+            f"({n_runs} runs, digest {digest[:12]})"
+        )
 
     ok = all(rep.survived_all for rep in matrices) and not any(
         r.verdict == VERDICT_WRONG_ANSWER for r in schedules or []

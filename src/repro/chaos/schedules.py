@@ -82,6 +82,9 @@ class ScheduleResult:
     makespan_s: float
     gave_up_reason: Optional[str] = None
     fired: List[str] = field(default_factory=list)
+    #: per-attempt observability payload (``--obs summary/full``); never
+    #: serialized into ``BENCH_chaos.json`` — it flows to the trace store
+    obs: Optional[dict] = None
 
 
 def generate_schedule(
@@ -125,6 +128,7 @@ def _schedule_result(
         makespan_s=outcome.makespan_s,
         gave_up_reason=outcome.gave_up_reason,
         fired=list(outcome.fired),
+        obs=outcome.obs,
     )
 
 
@@ -134,6 +138,7 @@ def run_schedule(
     index: int = 0,
     *,
     cache: Any = None,
+    obs: str = "off",
 ) -> ScheduleResult:
     """Replay one schedule under the daemon and classify the outcome.
 
@@ -149,11 +154,13 @@ def run_schedule(
     """
     key = None
     if cache is not None and scenario.spec is not None:
-        key = replay_fingerprint(ReplaySpec(scenario.spec, tuple(triggers)))
+        key = replay_fingerprint(
+            ReplaySpec(scenario.spec, tuple(triggers), obs=obs)
+        )
         hit = cache.get(key)
         if hit is not None:
             return _schedule_result(index, triggers, hit)
-    outcome = replay_scenario(scenario, tuple(triggers))
+    outcome = replay_scenario(scenario, tuple(triggers), obs=obs)
     if key is not None:
         cache.put(key, outcome)
     return _schedule_result(index, triggers, outcome)
@@ -168,6 +175,7 @@ def random_campaign(
     workers: int = 1,
     cache: Any = None,
     progress: Any = None,
+    obs: str = "off",
 ) -> List[ScheduleResult]:
     """Run ``cfg.n_schedules`` seeded schedules; same seed, same verdicts.
 
@@ -189,12 +197,15 @@ def random_campaign(
                 "(custom factory/protocol closure); run it with workers=1"
             )
         outcomes = engine.map(
-            lambda trigs: replay_scenario(scenario, tuple(trigs)),
+            lambda trigs: replay_scenario(scenario, tuple(trigs), obs=obs),
             schedules,
             on_error=crash_outcome,
         )
     else:
-        specs = [ReplaySpec(scenario.spec, tuple(trigs)) for trigs in schedules]
+        specs = [
+            ReplaySpec(scenario.spec, tuple(trigs), obs=obs)
+            for trigs in schedules
+        ]
         outcomes = engine.map(
             replay,
             specs,

@@ -117,7 +117,16 @@ def shrink_schedule(
     for i, trig in enumerate(list(current)):
         if isinstance(trig, PhaseTrigger):
             while trig.occurrence > 1 and runs < max_runs:
-                lowered = dataclasses.replace(trig, occurrence=trig.occurrence - 1)
+                # a probe-pinned trigger's via pair indexes the *original*
+                # occurrence; drop it rather than pin the wrong announcement
+                lowered = dataclasses.replace(
+                    trig,
+                    occurrence=trig.occurrence - 1,
+                    via_rank=None,
+                    via_occurrence=None,
+                    fire_clock=None,
+                    doom_points=(),
+                )
                 result = attempt(current[:i] + [lowered] + current[i + 1 :])
                 if not failing(result):
                     break

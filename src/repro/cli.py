@@ -9,7 +9,9 @@ Usage::
     python -m repro check --all  # sanitizer suite (lint, flow, races, deadlock)
     python -m repro check --deep # static gauntlet: lint + whole-program flow
     python -m repro obs --scenario skt-hpl --fail-at panel:3  # profile run
+    python -m repro obs query --store out/obs.sqlite   # cross-run queries
     python -m repro chaos --smoke                # kill-matrix campaign
+    python -m repro chaos --smoke --obs summary  # campaign + trace store
 
 Each target prints the same ASCII table the corresponding benchmark emits;
 ``check`` delegates to the :mod:`repro.sancheck` suite and exits non-zero
@@ -197,8 +199,8 @@ def main(argv=None) -> int:
         "target",
         choices=sorted(TARGETS) + ["list", "all", "check", "obs", "chaos"],
         help="which experiment to run ('check' = sanitizer suite, "
-        "'obs' = instrumented profile run, 'chaos' = fault-injection "
-        "campaign)",
+        "'obs' = instrumented profile run / trace-store queries, "
+        "'chaos' = fault-injection campaign)",
     )
     args = parser.parse_args(argv)
 

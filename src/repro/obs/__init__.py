@@ -9,6 +9,11 @@ turn both into Perfetto-loadable Chrome traces, metrics JSON-lines and an
 ASCII run report.  Everything is virtual-time-driven and deterministic:
 two runs with one seed produce byte-identical artifacts.
 
+Campaign-scale telemetry persists in the SQLite-backed
+:class:`~repro.obs.store.TraceStore` (``repro chaos --obs summary``
+ingests every attempt; ``repro obs query``/``trend`` aggregate across
+runs), with per-attempt payloads built by :mod:`repro.obs.rollup`.
+
 Entry points: ``repro obs --scenario skt-hpl --fail-at panel:3`` (CLI) or
 :func:`repro.obs.scenario.run_scenario` (programmatic / benchmarks).
 """
@@ -39,11 +44,26 @@ from repro.obs.report import (
     recovery_path,
     render_report,
 )
+from repro.obs.rollup import (
+    OBS_FULL,
+    OBS_MODES,
+    OBS_OFF,
+    OBS_SUMMARY,
+    attempt_payload,
+    attempt_summary,
+    span_doc,
+    span_from_doc,
+)
 from repro.obs.spans import NULL_SPAN, STATUS_INTERRUPTED, STATUS_OK, Span, SpanTracer
+from repro.obs.store import TraceStore, attempt_run_id, obs_run_id
 
 __all__ = [
     "METRIC_NAMES",
     "NULL_SPAN",
+    "OBS_FULL",
+    "OBS_MODES",
+    "OBS_OFF",
+    "OBS_SUMMARY",
     "SPAN_LABELS",
     "STATUS_INTERRUPTED",
     "STATUS_OK",
@@ -55,6 +75,13 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanTracer",
+    "TraceStore",
+    "attempt_payload",
+    "attempt_run_id",
+    "attempt_summary",
+    "obs_run_id",
+    "span_doc",
+    "span_from_doc",
     "aggregate_by_name",
     "chrome_trace_events",
     "chrome_trace_json",

@@ -1,20 +1,32 @@
-"""``repro obs`` — run an instrumented scenario and export its profile.
+"""``repro obs`` — instrumented runs, and queries over the trace store.
 
 Usage::
 
     repro obs --scenario skt-hpl --fail-at panel:3 --out obs-out/
-    repro obs --scenario selfckpt --fail-at flush:2
-    repro obs --scenario skt-hpl --report-only
+    repro obs run --scenario selfckpt --fail-at flush:2 --store obs.sqlite
+    repro obs query --store obs.sqlite --verdict survived --name ckpt.flush
+    repro obs query --store obs.sqlite --section summary --format jsonl
+    repro obs ingest --store obs.sqlite obs-out/BENCH_obs.json
+    repro obs trend --store obs.sqlite --baseline benchmarks/perf_baseline.json
 
-Writes four artifacts into ``--out`` (default ``obs-out``): a Perfetto/
-``chrome://tracing``-loadable ``trace.json``, a ``metrics.jsonl``
-snapshot, the ASCII ``report.txt``, and a machine-readable
-``BENCH_obs.json`` perf record.  The report is also printed.
+The bare form (no subcommand) is the original profile runner and stays
+fully compatible: it writes a Perfetto-loadable ``trace.json``, a
+``metrics.jsonl`` snapshot, the ASCII ``report.txt`` and a
+machine-readable ``BENCH_obs.json`` into ``--out``.  ``run`` is the same
+thing spelled explicitly, plus ``--store`` to also persist the run into
+a :class:`~repro.obs.store.TraceStore`.
+
+``query`` filters and aggregates the store (byte-stable tables or JSON
+lines), ``ingest`` loads ``BENCH_{obs,perf,chaos}.json`` records, and
+``trend`` renders the cross-run bench trajectory with the perf
+speedup-ratio regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from typing import List, Optional
 
 from repro.obs.scenario import (
@@ -25,8 +37,10 @@ from repro.obs.scenario import (
     write_artifacts,
 )
 
+SUBCOMMANDS = ("run", "query", "ingest", "trend")
 
-def obs_main(argv: Optional[List[str]] = None) -> int:
+
+def _run_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro obs",
         description=(
@@ -65,6 +79,10 @@ def obs_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--out", default="obs-out", help="artifact directory (default: obs-out)"
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DB",
+        help="also ingest the run into this SQLite trace store",
     )
     parser.add_argument(
         "--report-only",
@@ -115,10 +133,189 @@ def obs_main(argv: Optional[List[str]] = None) -> int:
         for kind in sorted(paths):
             print(f"wrote {kind}: {paths[kind]}")
 
+    if args.store is not None:
+        from repro.obs.store import TraceStore
+
+        with TraceStore(args.store) as store:
+            run_id = store.ingest_obs_run(run)
+        print(f"stored run {run_id[:12]} in {args.store}")
+
     return 0 if run.completed else 1
 
 
-if __name__ == "__main__":  # pragma: no cover
-    import sys
+def _parse_filter(args: argparse.Namespace):
+    from repro.obs.query import QueryFilter
 
+    def _csv(v: Optional[str]) -> tuple:
+        return tuple(s.strip() for s in v.split(",") if s.strip()) if v else ()
+
+    def _icsv(v: Optional[str]) -> tuple:
+        return tuple(int(s) for s in _csv(v))
+
+    return QueryFilter(
+        kinds=_csv(args.kind),
+        scenarios=_csv(args.scenario),
+        methods=_csv(args.method),
+        verdicts=_csv(args.verdict),
+        campaign=args.campaign,
+        label_like=args.label,
+        names=_csv(args.name),
+        ranks=_icsv(args.rank),
+        incarnations=_icsv(args.incarnation),
+    )
+
+
+def _require_store(parser: argparse.ArgumentParser, path: str) -> None:
+    """Read-only subcommands must not conjure an empty store.
+
+    ``sqlite3.connect`` happily creates the file, so a typo'd ``--store``
+    would silently query zero rows (and litter an empty .sqlite) instead
+    of failing.
+    """
+    import os
+
+    if path != ":memory:" and not os.path.exists(path):
+        parser.error(f"trace store not found: {path}")
+
+
+def _query_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro obs query",
+        description=(
+            "Filter and aggregate runs/spans/summaries across every "
+            "campaign in a trace store (byte-stable output)."
+        ),
+    )
+    parser.add_argument("--store", required=True, metavar="DB",
+                        help="SQLite trace store to query")
+    parser.add_argument("--kind", default=None,
+                        help="run kinds (csv: kill,random,obs)")
+    parser.add_argument("--scenario", default=None, help="scenario names (csv)")
+    parser.add_argument("--method", default=None,
+                        help="checkpoint methods (csv)")
+    parser.add_argument("--verdict", default=None, help="verdicts (csv)")
+    parser.add_argument("--campaign", default=None, help="exact campaign id")
+    parser.add_argument("--label", default=None,
+                        help="substring match on the attempt label")
+    parser.add_argument("--name", default=None, help="span names (csv)")
+    parser.add_argument("--rank", default=None, help="span ranks (csv of ints)")
+    parser.add_argument("--incarnation", default=None,
+                        help="span incarnations (csv of ints)")
+    parser.add_argument(
+        "--section", default="runs,spans,summary",
+        help="which sections to emit (csv of runs,spans,summary)",
+    )
+    parser.add_argument(
+        "--keys", default=None,
+        help="restrict the summary section to these rollup keys (csv)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "jsonl"), default="table",
+        help="output format (default: table)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.query import query_jsonl, query_report
+    from repro.obs.store import TraceStore
+
+    _require_store(parser, args.store)
+    flt = _parse_filter(args)
+    sections = tuple(s.strip() for s in args.section.split(",") if s.strip())
+    keys = (
+        tuple(k.strip() for k in args.keys.split(",") if k.strip())
+        if args.keys
+        else None
+    )
+    with TraceStore(args.store) as store:
+        if args.format == "jsonl":
+            sys.stdout.write(
+                query_jsonl(store, flt, sections=sections, keys=keys)
+            )
+        else:
+            print(query_report(store, flt, sections=sections, keys=keys))
+    return 0
+
+
+def _ingest_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro obs ingest",
+        description=(
+            "Load BENCH_{obs,perf,chaos}.json records into a trace store "
+            "(idempotent: records are content-addressed)."
+        ),
+    )
+    parser.add_argument("--store", required=True, metavar="DB")
+    parser.add_argument("files", nargs="+", metavar="BENCH.json")
+    args = parser.parse_args(argv)
+
+    from repro.obs.store import TraceStore
+
+    with TraceStore(args.store) as store:
+        for path in args.files:
+            with open(path, "r", encoding="utf-8") as f:
+                record = json.load(f)
+            record_id = store.ingest_bench_record(record)
+            print(
+                f"ingested {record.get('bench', '?')} record "
+                f"{record_id[:12]} from {path}"
+            )
+        counts = store.counts()
+    print(
+        "store now holds "
+        + ", ".join(f"{counts[t]} {t}" for t in sorted(counts))
+    )
+    return 0
+
+
+def _trend_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro obs trend",
+        description=(
+            "Cross-run bench trajectory from the store's raw records, "
+            "with the perf speedup-ratio regression gate."
+        ),
+    )
+    parser.add_argument("--store", required=True, metavar="DB")
+    parser.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="perf ratio baseline (e.g. benchmarks/perf_baseline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.query import trend_report
+    from repro.obs.store import TraceStore
+
+    _require_store(parser, args.store)
+    baseline = None
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    with TraceStore(args.store) as store:
+        text, ok = trend_report(store, baseline)
+    print(text)
+    return 0 if ok else 1
+
+
+def obs_main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch on the first positional; bare flags mean ``run``.
+
+    The original flag-only invocation (``repro obs --scenario ...``)
+    predates the subcommands and must keep working — scripts and tests
+    call it — so anything that does not start with a known subcommand
+    falls through to the profile runner.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        sub, rest = argv[0], argv[1:]
+        if sub == "run":
+            return _run_main(rest)
+        if sub == "query":
+            return _query_main(rest)
+        if sub == "ingest":
+            return _ingest_main(rest)
+        return _trend_main(rest)
+    return _run_main(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
     sys.exit(obs_main())

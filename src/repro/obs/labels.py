@@ -77,12 +77,20 @@ METRIC_NAMES = frozenset(
         "chaos.not_fired",
         # parallel replay engine (src/repro/par): tasks counts every spec
         # the engine resolved (cache hits included); cache_hits/cache_misses
-        # partition the memoized-lookup outcomes; workers is a gauge of the
-        # pool width actually used for the map
+        # partition the memoized-lookup outcomes; cache_corrupt counts disk
+        # entries that existed but failed to parse (counted as misses);
+        # workers is a gauge of the pool width actually used for the map;
+        # worker_tasks is labelled by dispatch slot (submission-order
+        # round-robin attribution — which OS process actually ran a task is
+        # host scheduling, so accounting is by deterministic dispatch slot);
+        # queue_depth is the peak backlog beyond the pool width
         "par.tasks",
         "par.cache_hits",
         "par.cache_misses",
+        "par.cache_corrupt",
         "par.workers",
+        "par.worker_tasks",
+        "par.queue_depth",
     }
 )
 

@@ -30,9 +30,10 @@ Accounting contract (also in :mod:`repro.obs.labels`):
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.labels import METRIC_NAMES, tag_class
 from repro.sim.observer import SimObserver, install_observer
@@ -98,6 +99,47 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Deterministic nearest-rank percentile from the fixed buckets.
+
+        Returns the *upper bound* of the bucket holding the q-th ranked
+        observation — a conservative estimate whose error is bounded by
+        the log-spaced bucket width and which never depends on arrival
+        order, so two same-seed runs report identical percentiles.
+        Observations that landed in the overflow bucket report ``inf``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile q must be in (0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(q * self.count)
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target:
+                return self.buckets[i] if i < len(self.buckets) else math.inf
+        return math.inf  # pragma: no cover - counts always sum to count
+
+
+def percentile_from_buckets(
+    buckets: Tuple[float, ...], counts: Sequence[int], q: float
+) -> float:
+    """:meth:`Histogram.percentile` over exported bucket data — lets the
+    report and the trace store compute percentiles from flattened samples
+    (``MetricSample.extra``) without a live :class:`Histogram`."""
+    total = sum(counts)
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"percentile q must be in (0, 1], got {q!r}")
+    if total == 0:
+        return 0.0
+    target = math.ceil(q * total)
+    cum = 0
+    for i, c in enumerate(counts):
+        cum += c
+        if cum >= target:
+            return buckets[i] if i < len(buckets) else math.inf
+    return math.inf  # pragma: no cover - counts always sum to total
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,41 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.metrics import MetricsRegistry
+import math
+
+from repro.obs.metrics import MetricsRegistry, percentile_from_buckets
 from repro.obs.spans import STATUS_OK, Span
 from repro.util import render_table
+
+#: percentiles the histogram table reports, derived deterministically
+#: from the log-spaced buckets (nearest-rank, bucket upper bound)
+REPORT_PERCENTILES = (0.50, 0.90, 0.99)
+
+
+def _fmt_s(v: float) -> str:
+    return "inf" if math.isinf(v) else f"{v:.4g}"
+
+
+def histogram_rows(registry: MetricsRegistry) -> List[List[str]]:
+    """``[name, labels, count, mean, p50, p90, p99]`` per histogram
+    instrument, in the registry's deterministic sample order."""
+    rows: List[List[str]] = []
+    for s in registry.samples():
+        if s.kind != "histogram" or not s.extra:
+            continue
+        buckets = tuple(s.extra["buckets"])
+        counts = list(s.extra["counts"])
+        n = int(s.extra["count"])
+        mean = (s.value / n) if n else 0.0
+        labels = ",".join(f"{k}={v}" for k, v in sorted(s.labels.items()))
+        rows.append(
+            [s.name, labels or "-", str(n), _fmt_s(mean)]
+            + [
+                _fmt_s(percentile_from_buckets(buckets, counts, q))
+                for q in REPORT_PERCENTILES
+            ]
+        )
+    return rows
 
 
 def _dur(span: Span) -> float:
@@ -182,6 +214,15 @@ def render_report(
             )
 
     if registry is not None:
+        hist_rows = histogram_rows(registry)
+        if hist_rows:
+            parts.append(
+                render_table(
+                    ["histogram", "labels", "count", "mean s", "p50 s", "p90 s", "p99 s"],
+                    hist_rows,
+                    title="histogram percentiles (nearest-rank, log-bucket upper bounds)",
+                )
+            )
         sent = registry.total("mpi.bytes_sent")
         recv = registry.total("mpi.bytes_recv")
         posted = registry.total("mpi.bytes_posted")

@@ -1,0 +1,175 @@
+"""Per-attempt observability payloads for campaign-scale ingestion.
+
+A chaos campaign resolves thousands of attempts through the pickleable
+replay path of :mod:`repro.par`; this module defines the JSON-canonical
+payload one instrumented attempt ships back — either a flat *summary*
+rollup (the ``bench_record``-style headline numbers, bounding per-attempt
+overhead to a few hundred bytes) or the *full* span/metric streams.  The
+payload rides :class:`repro.par.replay.ReplayOutcome` across the process
+boundary and through the memo cache's JSON encoding, and lands in the
+SQLite :class:`~repro.obs.store.TraceStore`.
+
+Everything here is deterministic and wall-clock-free: payloads are pure
+functions of the tracer/registry state, which the simulator's virtual
+clocks make byte-identical across same-seed runs — the property the
+store digest and ``repro obs query`` byte-stability tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanTracer
+
+#: sampling modes of the campaign obs flag (``repro chaos --obs ...``)
+OBS_OFF = "off"
+OBS_SUMMARY = "summary"
+OBS_FULL = "full"
+OBS_MODES = (OBS_OFF, OBS_SUMMARY, OBS_FULL)
+
+
+def span_doc(s: Span) -> Dict[str, Any]:
+    """One span as a plain JSON-canonical record (store/wire form)."""
+    return {
+        "span_id": s.span_id,
+        "parent_id": s.parent_id,
+        "rank": s.rank,
+        "incarnation": s.incarnation,
+        "name": s.name,
+        "begin": s.begin,
+        "end": s.end,
+        "status": s.status,
+        "attrs": dict(s.attrs),
+    }
+
+
+def span_from_doc(doc: Dict[str, Any]) -> Span:
+    """Inverse of :func:`span_doc` (exact round-trip)."""
+    return Span(
+        span_id=str(doc["span_id"]),
+        rank=int(doc["rank"]),
+        name=str(doc["name"]),
+        begin=float(doc["begin"]),
+        end=None if doc.get("end") is None else float(doc["end"]),
+        attrs=dict(doc.get("attrs", {})),
+        parent_id=doc.get("parent_id"),
+        status=str(doc.get("status", "ok")),
+        incarnation=int(doc.get("incarnation", 0)),
+    )
+
+
+def metric_docs(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Flattened instruments in the registry's deterministic order."""
+    out: List[Dict[str, Any]] = []
+    for s in registry.samples():
+        rec: Dict[str, Any] = {
+            "name": s.name,
+            "kind": s.kind,
+            "labels": dict(s.labels),
+            "value": s.value,
+        }
+        if s.extra:
+            rec["extra"] = dict(s.extra)
+        out.append(rec)
+    return out
+
+
+def fill_job_metrics(
+    registry: MetricsRegistry,
+    spans: List[Span],
+    *,
+    n_restarts: int,
+    n_failures: int,
+    completed: bool,
+    makespan_s: float,
+) -> None:
+    """Derive the job/ckpt-level counters from the daemon report and the
+    recorded spans (the observer only sees communicator/SHM events)."""
+    registry.counter("job.restarts").inc(n_restarts)
+    registry.counter("job.failures_injected").inc(n_failures)
+    registry.gauge("job.completed").set(1.0 if completed else 0.0)
+    registry.gauge("job.makespan_s").set(makespan_s)
+    for s in spans:
+        if s.name == "ckpt" and s.status == "ok":
+            registry.counter("ckpt.count", rank=s.rank).inc()
+        elif s.name == "ckpt.encode":
+            registry.counter("ckpt.bytes_encoded", rank=s.rank).inc(
+                int(s.attrs.get("nbytes", 0))
+            )
+        elif s.name == "restore" and s.status == "ok":
+            registry.counter("restore.count", rank=s.rank).inc()
+
+
+def attempt_summary(
+    spans: List[Span], registry: MetricsRegistry
+) -> Dict[str, float]:
+    """The flat rollup of one attempt: dotted ``{key: float}`` pairs.
+
+    Key families (all values floats so they drop straight into the
+    store's ``summaries`` table and aggregate across thousands of
+    attempts):
+
+    * ``spans.count`` / ``spans.interrupted`` — span-stream totals;
+    * ``span.total_s.<name>`` / ``span.count.<name>`` — per-label
+      inclusive virtual time and count;
+    * ``critical_path_s`` / ``recovery_path_s`` — the makespan-bounding
+      chain and the latest-restore descent (paper Fig. 10's segments);
+    * ``traffic.*`` — delivered/posted/stranded byte balance;
+    * ``ckpt.count`` / ``ckpt.bytes_encoded`` / ``restore.count`` /
+      ``job.restarts`` — lifecycle aggregates.
+    """
+    from repro.obs.report import critical_path, recovery_path
+
+    out: Dict[str, float] = {
+        "spans.count": float(len(spans)),
+        "spans.interrupted": float(
+            sum(1 for s in spans if s.status != "ok")
+        ),
+    }
+    for s in spans:
+        dur = 0.0 if s.end is None else s.end - s.begin
+        out[f"span.total_s.{s.name}"] = out.get(f"span.total_s.{s.name}", 0.0) + dur
+        out[f"span.count.{s.name}"] = out.get(f"span.count.{s.name}", 0.0) + 1.0
+
+    def _chain_s(chain: List[Span]) -> float:
+        return sum(0.0 if s.end is None else s.end - s.begin for s in chain[:1])
+
+    out["critical_path_s"] = _chain_s(critical_path(spans))
+    out["recovery_path_s"] = _chain_s(recovery_path(spans))
+    sent = registry.total("mpi.bytes_sent")
+    posted = registry.total("mpi.bytes_posted")
+    out["traffic.bytes_sent"] = sent
+    out["traffic.bytes_posted"] = posted
+    out["traffic.bytes_stranded"] = posted - sent
+    out["ckpt.count"] = registry.total("ckpt.count")
+    out["ckpt.bytes_encoded"] = registry.total("ckpt.bytes_encoded")
+    out["restore.count"] = registry.total("restore.count")
+    out["job.restarts"] = registry.total("job.restarts")
+    return out
+
+
+def attempt_payload(
+    tracer: SpanTracer,
+    registry: MetricsRegistry,
+    mode: str,
+) -> Optional[Dict[str, Any]]:
+    """The obs payload one replay ships back, or ``None`` for ``off``.
+
+    ``summary`` carries only the flat rollup; ``full`` adds the complete
+    span and metric streams (store ingest re-derives the summary from
+    either, so queries work uniformly across sampling modes).
+    """
+    if mode == OBS_OFF:
+        return None
+    if mode not in OBS_MODES:
+        raise ValueError(f"unknown obs mode {mode!r}; choose from {OBS_MODES}")
+    spans = tracer.spans()
+    payload: Dict[str, Any] = {
+        "mode": mode,
+        "summary": attempt_summary(spans, registry),
+    }
+    if mode == OBS_FULL:
+        payload["spans"] = [span_doc(s) for s in spans]
+        payload["metrics"] = metric_docs(registry)
+    return payload

@@ -63,21 +63,18 @@ class ObsRun:
 
 def _fill_job_metrics(run: ObsRun, report: Any, plan: Any) -> None:
     """Derive the job/ckpt-level counters from the daemon report and the
-    recorded spans (the observer only sees communicator/SHM events)."""
-    reg = run.registry
-    reg.counter("job.restarts").inc(report.n_restarts)
-    reg.counter("job.failures_injected").inc(len(plan.fired))
-    reg.gauge("job.completed").set(1.0 if report.completed else 0.0)
-    reg.gauge("job.makespan_s").set(report.total_virtual_s)
-    for s in run.tracer.spans():
-        if s.name == "ckpt" and s.status == "ok":
-            reg.counter("ckpt.count", rank=s.rank).inc()
-        elif s.name == "ckpt.encode":
-            reg.counter("ckpt.bytes_encoded", rank=s.rank).inc(
-                int(s.attrs.get("nbytes", 0))
-            )
-        elif s.name == "restore" and s.status == "ok":
-            reg.counter("restore.count", rank=s.rank).inc()
+    recorded spans — the shared :func:`repro.obs.rollup.fill_job_metrics`
+    rule, so obs runs and campaign attempts agree on these counters."""
+    from repro.obs.rollup import fill_job_metrics
+
+    fill_job_metrics(
+        run.registry,
+        run.tracer.spans(),
+        n_restarts=report.n_restarts,
+        n_failures=len(plan.fired),
+        completed=report.completed,
+        makespan_s=report.total_virtual_s,
+    )
 
 
 def _build_plan(fail_at: Optional[Tuple[str, int]], node_id: int):

@@ -39,7 +39,8 @@ from typing import Any, Dict, Optional
 from repro.par.replay import ReplayOutcome, ReplaySpec
 
 #: bump to invalidate every cached outcome on an incompatible layout change
-CACHE_SCHEMA_VERSION = 1
+#: (v2: outcomes may carry an obs payload; fingerprints cover the obs mode)
+CACHE_SCHEMA_VERSION = 2
 
 
 @lru_cache(maxsize=1)
@@ -69,23 +70,42 @@ def _trigger_doc(trigger: Any) -> Dict[str, Any]:
 
 
 def replay_fingerprint(spec: ReplaySpec) -> str:
-    """The content address of one replay job."""
+    """The content address of one replay job.
+
+    Covers the obs sampling mode too: an outcome replayed with spans
+    attached carries a payload an ``off`` replay does not, so the two
+    must never share a cache entry (or a store run id).
+    """
     doc = {
         "schema": CACHE_SCHEMA_VERSION,
         "code": code_fingerprint(),
         "scenario": {"kind": spec.scenario.kind, "kwargs": spec.scenario.as_dict()},
         "triggers": [_trigger_doc(t) for t in spec.triggers],
+        "obs": getattr(spec, "obs", "off"),
     }
     blob = json.dumps(doc, sort_keys=True, default=list)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class MemoCache:
-    """In-memory (and optionally on-disk) store of classified outcomes."""
+    """In-memory (and optionally on-disk) store of classified outcomes.
+
+    Lookup accounting rides on the cache itself (:attr:`hits`,
+    :attr:`misses`, :attr:`corrupt`): the parallel engine surfaces the
+    counts as ``par.cache_hits`` / ``par.cache_misses`` /
+    ``par.cache_corrupt`` metrics, so a disk entry that existed but
+    failed to parse is a *visible* event in campaign telemetry rather
+    than a silent re-run.
+    """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
         self._mem: Dict[str, ReplayOutcome] = {}
+        self.hits = 0
+        self.misses = 0
+        #: disk entries that existed but could not be read/parsed
+        #: (counted as misses too; the entry is rewritten on put)
+        self.corrupt = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
 
@@ -98,15 +118,20 @@ class MemoCache:
     def get(self, key: str) -> Optional[ReplayOutcome]:
         hit = self._mem.get(key)
         if hit is not None:
+            self.hits += 1
             return hit
         file = self._file_for(key)
         if file is None or not os.path.exists(file):
+            self.misses += 1
             return None
         try:
             with open(file, "r", encoding="utf-8") as f:
                 outcome = ReplayOutcome.from_json(json.load(f))
         except (OSError, ValueError, KeyError):
+            self.corrupt += 1
+            self.misses += 1
             return None  # corrupt entry == miss; it will be rewritten
+        self.hits += 1
         self._mem[key] = outcome
         return outcome
 

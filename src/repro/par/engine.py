@@ -95,6 +95,7 @@ class ParallelEngine:
 
         pending: List[int] = []
         hits = 0
+        corrupt_before = getattr(cache, "corrupt", 0) if cache is not None else 0
         for i, task in enumerate(tasks):
             if cache is not None and key is not None:
                 keys[i] = key(task)
@@ -105,11 +106,32 @@ class ParallelEngine:
                     continue
             pending.append(i)
 
+        n_procs = min(self.workers, max(len(pending), 1))
         if self.registry is not None:
             self.registry.counter("par.tasks").inc(total)
             self.registry.counter("par.cache_hits").inc(hits)
             self.registry.counter("par.cache_misses").inc(len(pending))
+            if cache is not None:
+                self.registry.counter("par.cache_corrupt").inc(
+                    getattr(cache, "corrupt", 0) - corrupt_before
+                )
             self.registry.gauge("par.workers").set(self.workers)
+            # peak backlog beyond the pool width — how much of the map was
+            # ever queued behind a busy slot (deterministic: a submission-
+            # time quantity, independent of host scheduling)
+            self.registry.gauge("par.queue_depth").set(
+                max(0, len(pending) - n_procs)
+            )
+            # per-worker dispatch accounting: tasks are attributed to the
+            # slot of their submission order (i mod pool width), not the OS
+            # process that happened to execute them — the former is
+            # deterministic, the latter is wall-clock scheduling
+            for slot in range(n_procs):
+                share = len(pending[slot::n_procs])
+                if share:
+                    self.registry.counter(
+                        "par.worker_tasks", worker=slot
+                    ).inc(share)
 
         self.progress.start(total, self.workers)
         done = hits
@@ -131,7 +153,6 @@ class ParallelEngine:
             self.progress.update(done, total, hits, self.workers)
 
         if self.workers > 1 and len(pending) > 1:
-            n_procs = min(self.workers, len(pending))
             with self._ctx.Pool(processes=n_procs) as pool:
                 handles = [(i, pool.apply_async(fn, (tasks[i],))) for i in pending]
                 for i, handle in handles:

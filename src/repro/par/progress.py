@@ -16,11 +16,15 @@ from typing import IO, Optional
 
 
 class ProgressReporter:
-    """Throttled ``done/total`` + runs/s line, engine-driven.
+    """Throttled ``done/total`` + runs/s + utilization line, engine-driven.
 
     The engine calls :meth:`start` once, :meth:`update` after every
     resolved task (cache hits included) and :meth:`finish` at the end.
-    ``min_interval_s`` throttles redraws so tiny campaigns don't spam.
+    ``min_interval_s`` throttles redraws so tiny campaigns don't spam —
+    but only *intermediate* redraws: :meth:`finish` always emits one
+    final, un-throttled summary line, so a campaign that resolves
+    entirely inside a single throttle window still reports its totals
+    instead of ending with a stale (or blank) line.
     """
 
     def __init__(
@@ -33,37 +37,58 @@ class ProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval_s = min_interval_s
         self._t0 = 0.0
-        self._last = 0.0
+        self._last: Optional[float] = None
 
     def _now(self) -> float:
         return time.monotonic()
 
     def start(self, total: int, workers: int) -> None:
         self._t0 = self._now()
-        self._last = 0.0
-        self._emit(0, total, 0, workers, force=total == 0)
+        self._last = None
+        self._emit(0, total, 0, workers)
 
     def update(self, done: int, total: int, cache_hits: int, workers: int) -> None:
         now = self._now()
-        if done < total and (now - self._last) < self.min_interval_s:
+        if (
+            done < total
+            and self._last is not None
+            and (now - self._last) < self.min_interval_s
+        ):
             return
         self._last = now
         self._emit(done, total, cache_hits, workers)
 
     def finish(self, done: int, total: int, cache_hits: int, workers: int) -> None:
-        self._emit(done, total, cache_hits, workers, force=True)
+        # unconditionally final: never throttled, always newline-terminated
+        self._emit(done, total, cache_hits, workers, final=True)
         self.stream.write("\n")
         self.stream.flush()
 
     def _emit(
-        self, done: int, total: int, cache_hits: int, workers: int, force: bool = False
+        self,
+        done: int,
+        total: int,
+        cache_hits: int,
+        workers: int,
+        final: bool = False,
     ) -> None:
         elapsed = max(self._now() - self._t0, 1e-9)
         rate = done / elapsed
         hits = f", {cache_hits} cached" if cache_hits else ""
+        if final:
+            extra = f", {elapsed:.1f}s"
+        else:
+            # live pool occupancy: every slot is busy until fewer tasks
+            # remain than workers (the tail drain), plus the backlog still
+            # queued behind the pool
+            inflight = max(0, min(workers, total - done))
+            queued = max(0, total - done - inflight)
+            util = (inflight / workers) if workers else 0.0
+            extra = f", {util:.0%} util, {queued} queued"
         self.stream.write(
             f"\r{self.label}: {done}/{total} replays "
-            f"({rate:.1f}/s, {workers} worker{'s' if workers != 1 else ''}{hits})"
+            f"({rate:.1f}/s, {workers} worker{'s' if workers != 1 else ''}"
+            f"{extra}{hits})"
         )
         self.stream.flush()
 

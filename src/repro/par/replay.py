@@ -15,6 +15,16 @@ JSON encoding) stays cheap and exact.  Campaign result types
 which is what makes the serial and parallel paths byte-identical: both
 flow through the same outcome fields.
 
+One optional extra rides along: with an obs sampling mode armed
+(``spec.obs != "off"``), the worker attaches a fresh
+:class:`~repro.obs.spans.SpanTracer` + metrics observer to the attempt
+and ships a JSON-canonical payload back in :attr:`ReplayOutcome.obs` —
+a flat summary rollup (``summary``) or the full span/metric streams
+(``full``), built by :mod:`repro.obs.rollup`.  The payload is a pure
+function of the virtual-clock-driven run, so outcomes stay deterministic
+and cacheable; the obs mode is part of the cache fingerprint so modes
+never collide.
+
 All imports of :mod:`repro.chaos` happen inside function bodies:
 ``repro.chaos.campaign`` imports this module, not the other way around.
 """
@@ -28,6 +38,9 @@ from typing import Any, Dict, Optional, Tuple
 #: itself a campaign outcome (matches repro.chaos.campaign.VERDICT_GAVE_UP)
 CRASH_VERDICT = "gave-up"
 
+#: no-observability sampling mode (see repro.obs.rollup.OBS_MODES)
+OBS_OFF = "off"
+
 
 @dataclass(frozen=True)
 class ReplayOutcome:
@@ -38,15 +51,21 @@ class ReplayOutcome:
     makespan_s: float
     gave_up_reason: Optional[str] = None
     fired: Tuple[str, ...] = ()
+    #: per-attempt observability payload (None unless an obs mode was
+    #: armed); see :func:`repro.obs.rollup.attempt_payload`
+    obs: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "verdict": self.verdict,
             "n_restarts": self.n_restarts,
             "makespan_s": self.makespan_s,
             "gave_up_reason": self.gave_up_reason,
             "fired": list(self.fired),
         }
+        if self.obs is not None:
+            doc["obs"] = self.obs
+        return doc
 
     @classmethod
     def from_json(cls, doc: Dict[str, Any]) -> "ReplayOutcome":
@@ -56,6 +75,7 @@ class ReplayOutcome:
             makespan_s=float(doc["makespan_s"]),
             gave_up_reason=doc.get("gave_up_reason"),
             fired=tuple(doc.get("fired", ())),
+            obs=doc.get("obs"),
         )
 
 
@@ -65,25 +85,55 @@ class ReplaySpec:
 
     scenario: Any  # ScenarioSpec
     triggers: Tuple[Any, ...]  # AnyTrigger instances (plain dataclasses)
+    #: obs sampling mode the worker arms ("off" | "summary" | "full")
+    obs: str = OBS_OFF
 
 
-def replay_scenario(scenario: Any, triggers: Tuple[Any, ...]) -> ReplayOutcome:
+def replay_scenario(
+    scenario: Any, triggers: Tuple[Any, ...], obs: str = OBS_OFF
+) -> ReplayOutcome:
     """Replay an already-built :class:`ChaosScenario` in this process."""
     from repro.chaos.campaign import classify, run_with_triggers
 
-    inst, plan, report = run_with_triggers(scenario, list(triggers))
+    tracer = observer = None
+    if obs != OBS_OFF:
+        from repro.obs.metrics import MetricsObserver
+        from repro.obs.rollup import OBS_MODES
+        from repro.obs.spans import SpanTracer
+
+        if obs not in OBS_MODES:
+            raise ValueError(f"unknown obs mode {obs!r}; choose from {OBS_MODES}")
+        tracer = SpanTracer()
+        observer = MetricsObserver()
+    inst, plan, report = run_with_triggers(
+        scenario, list(triggers), tracer=tracer, observer=observer
+    )
+    payload = None
+    if tracer is not None and observer is not None:
+        from repro.obs.rollup import attempt_payload, fill_job_metrics
+
+        fill_job_metrics(
+            observer.registry,
+            tracer.spans(),
+            n_restarts=report.n_restarts,
+            n_failures=len(plan.fired),
+            completed=report.completed,
+            makespan_s=report.total_virtual_s,
+        )
+        payload = attempt_payload(tracer, observer.registry, obs)
     return ReplayOutcome(
         verdict=classify(inst, plan, report),
         n_restarts=report.n_restarts,
         makespan_s=report.total_virtual_s,
         gave_up_reason=report.gave_up_reason,
         fired=tuple(rec.describe() for rec in report.triggers_fired),
+        obs=payload,
     )
 
 
 def replay(spec: ReplaySpec) -> ReplayOutcome:
     """Worker entry point: rebuild the scenario and replay it."""
-    return replay_scenario(spec.scenario.build(), spec.triggers)
+    return replay_scenario(spec.scenario.build(), spec.triggers, obs=spec.obs)
 
 
 def crash_outcome(spec: Any, exc: BaseException) -> ReplayOutcome:

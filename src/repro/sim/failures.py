@@ -67,6 +67,33 @@ class PhaseTrigger:
     could fire on the wrong announcement; see ``FailurePlan.check_phase``.)
 
     ``extra_nodes`` die at the same instant as ``node_id``.
+
+    ``via_rank``/``via_occurrence`` pin a *node-wide* trigger to one
+    concrete announcement — "the node-wide ``occurrence``-th announcement
+    is rank ``via_rank``'s ``via_occurrence``-th".  With several ranks per
+    node the node-wide count is incremented in host-scheduler order, so
+    which same-instant announcement lands on the count is otherwise a
+    thread race; campaigns that know the announcement schedule in advance
+    (the kill matrix resolves it from the fault-free probe's virtual-clock
+    order, see :func:`repro.chaos.campaign.point_trigger`) pin the trigger
+    so the fire clock — and hence the doomed node's death time — is a
+    pure function of the scenario.  The fired provenance still reports the
+    advertised node-wide ``occurrence``, keeping reports and artifacts
+    identical to the unpinned trigger's.
+
+    ``doom_points`` extends the pin to the node's *other* ranks: each
+    ``(rank, phase, local_occurrence)`` entry names the announcement at
+    which that sibling rank dies — its first announcement at-or-after the
+    pinned one in virtual-clock order, again resolved from the probe.  A
+    sibling that blocks on a dead peer before reaching its doom point dies
+    inside the communicator wait instead; ``phase=""`` marks a rank with
+    no post-kill announcement (wait-delivery only).  Doom-pinned ranks are
+    exempt from the runtime's clock-based death fallback, so every rank of
+    the killed node dies at a point that is a pure function of its own
+    program — never of where host scheduling happened to put it.
+    ``fire_clock`` carries the pinned announcement's probe clock so a
+    sibling that reaches its doom point *before* the announcing rank (in
+    host time) can still stamp the node's power-off instant correctly.
     """
 
     node_id: int
@@ -74,10 +101,22 @@ class PhaseTrigger:
     occurrence: int = 1
     rank: Optional[int] = None
     extra_nodes: Tuple[int, ...] = ()
+    via_rank: Optional[int] = None
+    via_occurrence: Optional[int] = None
+    fire_clock: Optional[float] = None
+    doom_points: Tuple[Tuple[int, str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.occurrence < 1:
             raise ValueError("occurrence must be >= 1")
+        if (self.via_rank is None) != (self.via_occurrence is None):
+            raise ValueError("via_rank and via_occurrence come as a pair")
+        if self.via_rank is not None and self.rank is not None:
+            raise ValueError("via_rank pins a node-wide trigger; rank= is set")
+        if self.via_occurrence is not None and self.via_occurrence < 1:
+            raise ValueError("via_occurrence must be >= 1")
+        if self.doom_points and self.via_rank is None:
+            raise ValueError("doom_points require a via_rank pin")
 
     @property
     def all_nodes(self) -> Tuple[int, ...]:
@@ -109,10 +148,13 @@ class FiredTrigger:
         """One-line human summary for reports.
 
         Deterministic across replays: the announcing rank is named only
-        for rank-restricted triggers.  For a node-wide trigger with
-        several ranks per node, *which* rank's same-instant announcement
-        trips the count is scheduler order — naming it would leak thread
-        interleaving into otherwise byte-stable campaign artifacts.
+        for rank-restricted triggers.  For an unpinned node-wide trigger
+        with several ranks per node, *which* rank's same-instant
+        announcement trips the count is scheduler order — naming it would
+        leak thread interleaving into otherwise byte-stable campaign
+        artifacts.  (Pinned triggers — ``via_rank`` set — resolve that
+        race, but stay unnamed so their summary is byte-identical to the
+        unpinned form's.)
         """
         if isinstance(self.trigger, PhaseTrigger):
             who = (
@@ -152,6 +194,19 @@ class FailurePlan:
         #: the ``None`` slot is the node-wide count, the rank slots are
         #: what rank-restricted triggers consult
         self._phase_counts: Dict[Tuple[int, str, Optional[int]], int] = {}
+        #: per-rank doom points of pinned triggers, keyed ``(node, rank)``
+        #: -> ``(phase, local_occurrence, trigger)`` — see
+        #: :attr:`PhaseTrigger.doom_points`
+        self._rank_dooms: Dict[Tuple[int, int], Tuple[str, int, PhaseTrigger]] = {}
+        #: nodes some fired trigger already killed.  A node dies once —
+        #: replacements get fresh ids — so a later trigger whose *primary*
+        #: target is already dead is suppressed (its ranks could only reach
+        #: the trigger as doomed ghosts draining their pre-death program
+        #: segment, which would make the fired list a thread race).  A dead
+        #: node listed only in ``extra_nodes`` does not suppress: the live
+        #: primary still dies, the dead extra is a no-op.  The
+        #: check-and-mark is atomic under the plan lock.
+        self._killed_nodes: set = set()
         self.fired: List[AnyTrigger] = []
         self.fired_records: List[FiredTrigger] = []
         for t in triggers or []:
@@ -163,6 +218,16 @@ class FailurePlan:
                 self._time_triggers.append(trigger)
             elif isinstance(trigger, PhaseTrigger):
                 self._phase_triggers.append(trigger)
+                for rank, phase, local in trigger.doom_points:
+                    self._rank_dooms[(trigger.node_id, rank)] = (
+                        phase, local, trigger,
+                    )
+                if trigger.via_rank is not None:
+                    # the announcing rank's own doom is the pinned
+                    # announcement itself
+                    self._rank_dooms[(trigger.node_id, trigger.via_rank)] = (
+                        trigger.phase, trigger.via_occurrence, trigger,
+                    )
             else:
                 raise TypeError(f"not a trigger: {trigger!r}")
 
@@ -184,14 +249,56 @@ class FailurePlan:
         with self._lock:
             return self._phase_counts.get((node_id, phase, rank), 0)
 
+    def rank_doomed(self, node_id: int, rank: int) -> bool:
+        """True when a pinned trigger owns this rank's death point.
+
+        Such a rank is exempt from the runtime's clock-based node-death
+        fallback: it dies exactly at its doom announcement (see
+        :meth:`check_doom`) or inside a communicator wait a dead peer can
+        no longer satisfy — both pure functions of virtual program order.
+        """
+        with self._lock:
+            return (node_id, rank) in self._rank_dooms
+
+    def check_doom(
+        self, node_id: int, rank: int, phase: str
+    ) -> Optional[PhaseTrigger]:
+        """The pinned trigger whose doom point this announcement is, if any.
+
+        Consulted by ``RankContext.phase`` *after* :meth:`check_phase` has
+        counted the announcement: a doomed rank matches when its own
+        ``(node, phase, rank)`` count has just reached the resolved local
+        occurrence.  Returns the owning trigger so the caller can stamp
+        the node's power-off instant with :attr:`PhaseTrigger.fire_clock`
+        even when this rank outran the announcing one.
+        """
+        with self._lock:
+            spec = self._rank_dooms.get((node_id, rank))
+            if spec is None:
+                return None
+            doom_phase, local, trigger = spec
+            if doom_phase != phase:
+                return None
+            if self._phase_counts.get((node_id, phase, rank), 0) != local:
+                return None
+            return trigger
+
     def check_time(
         self, node_id: int, now: float, rank: Optional[int] = None
     ) -> Optional[TimeTrigger]:
-        """The fired trigger if one for ``node_id`` has come due at ``now``."""
+        """The fired trigger if one for ``node_id`` has come due at ``now``.
+
+        Triggers targeting a node some earlier trigger already killed are
+        skipped: a node dies once, and only a doomed rank draining its
+        pre-death program segment could even reach such a trigger.
+        """
         with self._lock:
             for t in self._time_triggers:
                 if t.node_id == node_id and now >= t.at_time:
+                    if t.node_id in self._killed_nodes:
+                        continue
                     self._time_triggers.remove(t)
+                    self._killed_nodes.update(t.all_nodes)
                     self.fired.append(t)
                     self.fired_records.append(
                         FiredTrigger(
@@ -225,14 +332,23 @@ class FailurePlan:
             for t in self._phase_triggers:
                 if t.node_id != node_id or t.phase != phase:
                     continue
-                if t.rank is None:
+                if t.via_rank is not None:
+                    # pinned node-wide trigger: fire on the resolved rank's
+                    # own announcement; report the advertised node count
+                    if t.via_rank != rank or rank_count != t.via_occurrence:
+                        continue
+                    count = t.occurrence
+                elif t.rank is None:
                     count = node_count
                 elif t.rank == rank:
                     count = rank_count
                 else:
                     continue
                 if count == t.occurrence:
+                    if t.node_id in self._killed_nodes:
+                        continue
                     self._phase_triggers.remove(t)
+                    self._killed_nodes.update(t.all_nodes)
                     self.fired.append(t)
                     self.fired_records.append(
                         FiredTrigger(

@@ -91,11 +91,19 @@ class Node:
         return self._failed_at
 
     def fail(self, when: float = 0.0) -> None:
-        """Power the node off: volatile *and* SHM contents are lost."""
+        """Power the node off: volatile *and* SHM contents are lost.
+
+        ``when`` is the virtual instant of the power-off; the runtime
+        delivers the death to each of the node's ranks when *that rank's
+        own clock* reaches it (see ``RankContext.check``), so ``when=0.0``
+        (the default) means "dead immediately for everyone".  ``_failed_at``
+        is published before ``_alive`` so a concurrent reader never
+        observes a dead node without a death time.
+        """
         if not self._alive:
             return
-        self._alive = False
         self._failed_at = when
+        self._alive = False
         self.shm.clear()
 
     def repair(self) -> None:

@@ -122,15 +122,47 @@ class RankContext:
     def check(self) -> None:
         """Raise if this rank's node died or a hard abort was requested.
 
-        A *failure* abort (``fail_node``) is deliberately **not** delivered
-        here: healthy ranks learn of it only inside communicator waits that
-        terminated ranks can no longer satisfy, so the point where each
-        rank dies depends on virtual program order, not thread scheduling.
+        Own-node death is delivered by *virtual time*: the rank dies at its
+        first check whose clock has reached the node's power-off instant
+        (``Node.failed_at``).  A sibling rank that is virtually *behind*
+        the failure keeps executing its pre-death program segment instead
+        of being cut down wherever host scheduling happened to put it —
+        the death point depends on virtual program order, not thread
+        interleaving.  (Earlier revisions killed every rank of a failed
+        node at its next check regardless of clock, which made the doomed
+        incarnation's tail — span counts, encoded bytes, makespan epsilons
+        — host-scheduler noise on multi-rank nodes.)
+
+        Ranks whose death point a *pinned* trigger owns (see
+        :meth:`~repro.sim.failures.FailurePlan.rank_doomed`) are exempt
+        from the clock fallback entirely: they die at their resolved doom
+        announcement in :meth:`phase`, or inside a communicator wait a
+        dead peer can no longer satisfy — so their death point does not
+        even depend on *when* (in host time) the failure flag was set.
+
+        A *failure* abort is still not delivered to healthy ranks here:
+        they learn of it only inside communicator waits that terminated
+        ranks can no longer satisfy.
+        """
+        failed_at = self.node.failed_at
+        if failed_at is not None and self.clock >= failed_at:
+            if not self.job.failure_plan.rank_doomed(self.node.node_id, self.rank):
+                raise NodeFailedError(self.node.node_id, self.clock)
+        if self.job.abort_requested:
+            raise JobAbortedError(f"rank {self.rank}: job aborting")
+
+    def _check_eager(self) -> None:
+        """Like :meth:`check`, but a dead node kills even a virtually-behind
+        rank immediately.
+
+        Used by the SHM entry points: a failed node's segment store is
+        already cleared, so letting a doomed rank touch it would surface
+        as a spurious :class:`~repro.sim.errors.ShmError` (a world-aborting
+        "user bug") instead of the node failure it really is.
         """
         if not self.node.alive:
             raise NodeFailedError(self.node.node_id, self.clock)
-        if self.job.abort_requested:
-            raise JobAbortedError(f"rank {self.rank}: job aborting")
+        self.check()
 
     # -- virtual time -----------------------------------------------------------
     def elapse(self, seconds: float) -> None:
@@ -143,8 +175,11 @@ class RankContext:
             self.node.node_id, self.clock, rank=self.rank
         )
         if trigger is not None:
+            # the node powers off at the scheduled deadline, not at the
+            # (scheduler-dependent) clock of whichever rank noticed first:
+            # every affected rank then dies at its own crossing of at_time
             for nid in trigger.all_nodes:
-                self.job.fail_node(nid, when=self.clock)
+                self.job.fail_node(nid, when=trigger.at_time)
         self.check()
 
     def compute(self, flops: float, efficiency: float = 1.0) -> None:
@@ -162,12 +197,24 @@ class RankContext:
         self._phase_log.append(name)
         if self.job.trace is not None:
             self.job.trace.record(self.rank, self.clock, name)
-        trigger = self.job.failure_plan.check_phase(
+        plan = self.job.failure_plan
+        trigger = plan.check_phase(
             self.node.node_id, self.rank, name, clock=self.clock
         )
         if trigger is not None:
             for nid in trigger.all_nodes:
                 self.job.fail_node(nid, when=self.clock)
+        doomed = plan.check_doom(self.node.node_id, self.rank, name)
+        if doomed is not None:
+            # this rank's pinned death point: mark the node failed even if
+            # the announcing rank has not tripped the trigger yet (this
+            # rank may have outrun it in host time) and die here
+            when = (
+                doomed.fire_clock if doomed.fire_clock is not None else self.clock
+            )
+            for nid in doomed.all_nodes:
+                self.job.fail_node(nid, when=when)
+            raise NodeFailedError(self.node.node_id, self.clock)
         self.check()
 
     @property
@@ -202,17 +249,19 @@ class RankContext:
     ) -> ShmSegment:
         """Create (or re-attach, with ``exist_ok``) an SHM segment on this
         rank's node.  Names are global per node; embed the rank if needed."""
-        self.check()
+        self._check_eager()
         return self.node.shm.create(name, shape, dtype, exist_ok=exist_ok)
 
     def shm_attach(self, name: str) -> ShmSegment:
-        self.check()
+        self._check_eager()
         return self.node.shm.attach(name)
 
     def shm_exists(self, name: str) -> bool:
         return self.node.shm.exists(name)
 
     def shm_unlink(self, name: str, *, missing_ok: bool = False) -> None:
+        if not self.node.alive:
+            raise NodeFailedError(self.node.node_id, self.clock)
         self.node.shm.unlink(name, missing_ok=missing_ok)
 
 

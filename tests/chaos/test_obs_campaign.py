@@ -1,0 +1,167 @@
+"""Campaign observability: payloads, store ingest, and the off-mode contract.
+
+The campaign-level determinism contract extends to telemetry: a kill
+matrix run with ``--obs summary`` must ingest to a byte-identical trace
+store whether replays run serially or over a worker pool, and turning
+observability on must never perturb ``BENCH_chaos.json``.
+"""
+
+import pytest
+
+from repro.chaos import (
+    RandomCampaignConfig,
+    probe_baseline,
+    random_campaign,
+    run_kill_matrix,
+    selfckpt_scenario,
+)
+from repro.chaos import bench as chaos_bench
+from repro.obs.rollup import OBS_FULL, OBS_OFF, OBS_SUMMARY
+from repro.obs.store import (
+    TraceStore,
+    campaign_id_for,
+    ingest_kill_matrix,
+    ingest_schedules,
+)
+from repro.par import MemoCache
+
+
+def small_scenario(**kw):
+    kw.setdefault("n_nodes", 2)
+    kw.setdefault("procs_per_node", 1)
+    kw.setdefault("group_size", 2)
+    kw.setdefault("iters", 4)
+    kw.setdefault("ckpt_every", 2)
+    kw.setdefault("method", "self")
+    return selfckpt_scenario(**kw)
+
+
+def _bench_bytes(matrices, schedules=None):
+    return chaos_bench.bench_json(
+        chaos_bench.bench_record(matrices, schedules, None, seed=0)
+    )
+
+
+def _store_digest(scenario, report, obs_mode):
+    with TraceStore(":memory:") as store:
+        cid = campaign_id_for(0, scenario.name, [report.method])
+        ingest_kill_matrix(
+            store, cid, scenario, report, seed=0, obs_mode=obs_mode
+        )
+        return store.digest()
+
+
+class TestAttemptPayload:
+    def test_summary_mode_carries_rollup_only(self):
+        sc = small_scenario()
+        report = run_kill_matrix(sc, probe=probe_baseline(sc), obs=OBS_SUMMARY)
+        assert report.results
+        for r in report.results:
+            assert r.obs is not None
+            assert r.obs["mode"] == "summary"
+            assert "summary" in r.obs
+            assert "spans" not in r.obs
+            assert "metrics" not in r.obs
+
+    def test_full_mode_carries_streams(self):
+        sc = small_scenario()
+        report = run_kill_matrix(sc, probe=probe_baseline(sc), obs=OBS_FULL)
+        for r in report.results:
+            assert r.obs["mode"] == "full"
+            assert isinstance(r.obs["spans"], list) and r.obs["spans"]
+            assert isinstance(r.obs["metrics"], list)
+
+    def test_off_mode_carries_nothing(self):
+        sc = small_scenario()
+        report = run_kill_matrix(sc, probe=probe_baseline(sc), obs=OBS_OFF)
+        assert all(r.obs is None for r in report.results)
+
+
+class TestBenchCompat:
+    def test_bench_bytes_never_see_obs_payload(self):
+        sc = small_scenario()
+        probe = probe_baseline(sc)
+        off = run_kill_matrix(sc, probe=probe, obs=OBS_OFF)
+        summary = run_kill_matrix(sc, probe=probe, obs=OBS_SUMMARY)
+        full = run_kill_matrix(sc, probe=probe, obs=OBS_FULL)
+        assert (
+            _bench_bytes([off])
+            == _bench_bytes([summary])
+            == _bench_bytes([full])
+        )
+
+    def test_random_campaign_bench_obs_invariant(self):
+        sc = small_scenario()
+        cfg = RandomCampaignConfig(n_schedules=2, seed=5)
+        off = random_campaign(sc, cfg, obs=OBS_OFF)
+        summary = random_campaign(sc, cfg, obs=OBS_SUMMARY)
+        assert _bench_bytes([], off) == _bench_bytes([], summary)
+
+
+class TestStoreEquivalence:
+    def test_serial_and_pooled_ingest_identically(self):
+        sc = small_scenario()
+        probe = probe_baseline(sc)
+        serial = run_kill_matrix(sc, probe=probe, obs=OBS_SUMMARY)
+        pooled = run_kill_matrix(
+            sc, probe=probe, obs=OBS_SUMMARY, workers=2
+        )
+        assert _store_digest(sc, serial, OBS_SUMMARY) == _store_digest(
+            sc, pooled, OBS_SUMMARY
+        )
+
+    def test_schedules_ingest_deterministically(self):
+        sc = small_scenario()
+        cfg = RandomCampaignConfig(n_schedules=2, seed=5)
+        digests = []
+        for workers in (1, 2):
+            results = random_campaign(sc, cfg, obs=OBS_SUMMARY, workers=workers)
+            with TraceStore(":memory:") as store:
+                ingest_schedules(
+                    store,
+                    "camp",
+                    sc,
+                    results,
+                    seed=5,
+                    obs_mode=OBS_SUMMARY,
+                )
+                digests.append(store.digest())
+        assert digests[0] == digests[1]
+
+    def test_run_identity_differs_across_obs_modes(self):
+        sc = small_scenario()
+        probe = probe_baseline(sc)
+        summary = run_kill_matrix(sc, probe=probe, obs=OBS_SUMMARY)
+        full = run_kill_matrix(sc, probe=probe, obs=OBS_FULL)
+        a = _store_digest(sc, summary, OBS_SUMMARY)
+        b = _store_digest(sc, full, OBS_FULL)
+        assert a != b  # modes are part of the run identity
+
+
+class TestCacheIsolation:
+    def test_cache_never_crosses_obs_modes(self, tmp_path):
+        sc = small_scenario()
+        probe = probe_baseline(sc)
+        cache = MemoCache(str(tmp_path / "memo"))
+        run_kill_matrix(sc, probe=probe, cache=cache, obs=OBS_OFF)
+        misses_after_off = cache.misses
+        assert misses_after_off > 0 and cache.hits == 0
+        # same sweep with obs=summary: every fingerprint differs, so the
+        # cache must miss again rather than serve payload-less outcomes
+        run_kill_matrix(sc, probe=probe, cache=cache, obs=OBS_SUMMARY)
+        assert cache.hits == 0
+        assert cache.misses == 2 * misses_after_off
+
+    def test_cache_hit_replays_obs_payload(self, tmp_path):
+        sc = small_scenario()
+        probe = probe_baseline(sc)
+        cache = MemoCache(str(tmp_path / "memo"))
+        first = run_kill_matrix(sc, probe=probe, cache=cache, obs=OBS_SUMMARY)
+        assert cache.hits == 0
+        again = run_kill_matrix(sc, probe=probe, cache=cache, obs=OBS_SUMMARY)
+        assert cache.hits > 0
+        for a, b in zip(first.results, again.results):
+            assert a.obs == b.obs
+        assert _store_digest(sc, first, OBS_SUMMARY) == _store_digest(
+            sc, again, OBS_SUMMARY
+        )

@@ -1,0 +1,137 @@
+"""Interrupted-span export behavior and the OPEN_SPAN_DURATION sentinel.
+
+Two layers report phases a failure cut short:
+
+* ``repro.obs`` spans carry ``status="interrupted"`` (stamped end) or a
+  genuinely open ``end=None``; the Chrome exporter must keep the status
+  visible through a full export -> parse cycle.
+* ``repro.sim.trace`` pairs phase announcements and reports an unmatched
+  ``begin`` with the :data:`OPEN_SPAN_DURATION` sentinel, which
+  :func:`span_stats` must keep out of the duration aggregates.
+"""
+
+import math
+
+from repro.obs.export import (
+    chrome_trace_json,
+    parse_chrome_trace,
+    span_tree,
+)
+from repro.obs.spans import STATUS_INTERRUPTED, STATUS_OK, SpanTracer
+from repro.sim.trace import (
+    OPEN_SPAN_DURATION,
+    Trace,
+    phase_spans,
+    span_stats,
+)
+
+
+def _interrupted_tracer():
+    tr = SpanTracer()
+    tr.begin(0, "ckpt", 1.0)
+    tr.begin(0, "ckpt.encode", 1.2)
+    tr.end(0, 1.8)
+    tr.end(0, 2.0)
+    tr.begin(1, "ckpt", 1.0, {"epoch": 3})
+    tr.close_rank(1, 1.4)  # failure: closed with status="interrupted"
+    tr.begin(2, "restore", 2.0)  # never closed at all: end stays None
+    return tr
+
+
+class TestChromeRoundTrip:
+    def test_interrupted_status_survives_round_trip(self):
+        spans = _interrupted_tracer().spans()
+        back = parse_chrome_trace(chrome_trace_json(spans))
+        by_id = {s.span_id: s for s in back}
+        orig = {s.span_id: s for s in spans}
+        assert set(by_id) == set(orig)
+        for sid, s in orig.items():
+            assert by_id[sid].status == s.status
+        statuses = sorted(s.status for s in back)
+        assert statuses.count(STATUS_INTERRUPTED) == 1
+
+    def test_interrupted_span_keeps_its_stamped_end(self):
+        spans = _interrupted_tracer().spans()
+        orig = next(
+            s for s in spans if s.rank == 1 and s.status == STATUS_INTERRUPTED
+        )
+        assert orig.end == 1.4  # close_rank stamps the clock of death
+        back = parse_chrome_trace(chrome_trace_json(spans))
+        got = next(s for s in back if s.span_id == orig.span_id)
+        assert got.end == 1.4
+        assert got.attrs == {"epoch": 3}
+
+    def test_open_span_exports_as_zero_duration(self):
+        # A span with end=None has no duration yet; the exporter pins it
+        # to its begin time so the trace stays loadable. (Only close_rank
+        # marks interruption — a never-closed span keeps status="ok".)
+        spans = _interrupted_tracer().spans()
+        orig = next(s for s in spans if s.end is None)
+        back = parse_chrome_trace(chrome_trace_json(spans))
+        got = next(s for s in back if s.span_id == orig.span_id)
+        assert got.begin == orig.begin
+        assert got.end == orig.begin
+        assert got.status == STATUS_OK
+
+    def test_tree_structure_survives(self):
+        spans = _interrupted_tracer().spans()
+        back = parse_chrome_trace(chrome_trace_json(spans))
+        assert span_tree(back) == span_tree(spans)
+
+    def test_ok_spans_stay_ok(self):
+        spans = _interrupted_tracer().spans()
+        back = parse_chrome_trace(chrome_trace_json(spans))
+        ok = [s for s in back if s.rank == 0]
+        assert all(s.status == STATUS_OK for s in ok)
+
+    def test_export_is_byte_stable(self):
+        a = chrome_trace_json(_interrupted_tracer().spans())
+        b = chrome_trace_json(_interrupted_tracer().spans())
+        assert a == b
+
+
+class TestOpenSpanSentinel:
+    def _trace(self):
+        t = Trace()
+        t.record(0, 1.0, "ckpt.begin")
+        t.record(0, 2.0, "ckpt.done")
+        t.record(1, 1.0, "ckpt.begin")  # rank 1 dies mid-checkpoint
+        t.record(0, 3.0, "ckpt.begin")
+        t.record(0, 3.5, "ckpt.done")
+        return t
+
+    def test_unmatched_begin_reports_sentinel(self):
+        spans = phase_spans(self._trace(), "ckpt.begin", "ckpt.done")
+        assert len(spans) == 3
+        open_spans = [s for s in spans if s[2] == OPEN_SPAN_DURATION]
+        assert open_spans == [(1, 1.0, OPEN_SPAN_DURATION)]
+        assert math.isinf(OPEN_SPAN_DURATION)
+
+    def test_stats_exclude_sentinel_from_aggregates(self):
+        spans = phase_spans(self._trace(), "ckpt.begin", "ckpt.done")
+        stats = span_stats(spans)
+        assert stats["count"] == 2
+        assert stats["open"] == 1
+        assert stats["max"] == 1.0  # inf never leaks into the aggregates
+        assert stats["mean"] == 0.75
+
+    def test_all_open_is_empty_safe(self):
+        t = Trace()
+        t.record(0, 1.0, "ckpt.begin")
+        stats = span_stats(phase_spans(t, "ckpt.begin", "ckpt.done"))
+        assert stats == {
+            "count": 0,
+            "min": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+            "open": 1,
+        }
+
+    def test_rebegin_closes_prior_as_open(self):
+        t = Trace()
+        t.record(0, 1.0, "ckpt.begin")
+        t.record(0, 2.0, "ckpt.begin")  # restarted: prior never closed
+        t.record(0, 2.5, "ckpt.done")
+        spans = phase_spans(t, "ckpt.begin", "ckpt.done")
+        assert (0, 1.0, OPEN_SPAN_DURATION) in spans
+        assert (0, 2.0, 0.5) in spans

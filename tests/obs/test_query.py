@@ -1,0 +1,256 @@
+"""Query-engine tests: filters, percentiles, byte-stable output, trend."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.query import (
+    QueryFilter,
+    aggregate_spans,
+    nearest_rank,
+    perf_trend_rows,
+    query_jsonl,
+    query_report,
+    run_rows,
+    span_rows,
+    summary_stats,
+    trend_report,
+)
+from repro.obs.rollup import attempt_payload
+from repro.obs.spans import SpanTracer
+from repro.obs.store import TraceStore
+
+
+def _tracer(offset=0.0):
+    tr = SpanTracer()
+    tr.begin(0, "ckpt", 1.0 + offset)
+    tr.end(0, 2.0 + offset)
+    tr.begin(0, "ckpt", 3.0 + offset)
+    tr.end(0, 3.5 + offset)
+    tr.begin(1, "restore", 4.0 + offset)
+    tr.close_rank(1, 4.25 + offset)
+    return tr
+
+
+def _store():
+    store = TraceStore(":memory:")
+    for i, (verdict, off) in enumerate(
+        [("survived", 0.0), ("survived", 1.0), ("gave-up", 2.0)]
+    ):
+        reg = MetricsRegistry()
+        reg.counter("job.restarts").inc(i)
+        store.ingest_attempt(
+            run_id=f"run-{i}",
+            campaign_id="camp",
+            ord=i,
+            kind="kill" if i < 2 else "random",
+            scenario="selfckpt",
+            method="self",
+            seed=0,
+            label=f"pt-{i}",
+            verdict=verdict,
+            n_restarts=i,
+            makespan_s=10.0 + i,
+            params={},
+            obs=attempt_payload(_tracer(off), reg, "full"),
+        )
+    return store
+
+
+class TestNearestRank:
+    def test_basic_percentiles(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(vals, 0.50) == 2.0
+        assert nearest_rank(vals, 0.90) == 4.0
+        assert nearest_rank(vals, 1.00) == 4.0
+        assert nearest_rank(vals, 0.25) == 1.0
+
+    def test_empty_and_bounds(self):
+        assert nearest_rank([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+
+    def test_single_value(self):
+        assert nearest_rank([7.0], 0.5) == 7.0
+        assert nearest_rank([7.0], 0.99) == 7.0
+
+
+class TestFilters:
+    def test_verdict_filter(self):
+        store = _store()
+        assert len(run_rows(store, QueryFilter())) == 3
+        survived = run_rows(store, QueryFilter(verdicts=("survived",)))
+        assert [r["run_id"] for r in survived] == ["run-0", "run-1"]
+
+    def test_kind_and_label_filter(self):
+        store = _store()
+        assert len(run_rows(store, QueryFilter(kinds=("random",)))) == 1
+        assert len(run_rows(store, QueryFilter(label_like="pt-1"))) == 1
+
+    def test_span_name_and_rank_filter(self):
+        store = _store()
+        ckpts = span_rows(store, QueryFilter(names=("ckpt",)))
+        assert len(ckpts) == 6  # two per run
+        assert {s["name"] for s in ckpts} == {"ckpt"}
+        r1 = span_rows(store, QueryFilter(ranks=(1,)))
+        assert {s["name"] for s in r1} == {"restore"}
+
+    def test_run_filter_narrows_spans(self):
+        store = _store()
+        spans = span_rows(
+            store, QueryFilter(verdicts=("gave-up",), names=("ckpt",))
+        )
+        assert len(spans) == 2
+        assert all(s["run_id"] == "run-2" for s in spans)
+
+
+class TestAggregation:
+    def test_span_aggregate_percentiles(self):
+        store = _store()
+        aggs = {a.name: a for a in aggregate_spans(span_rows(store, QueryFilter()))}
+        ckpt = aggs["ckpt"]
+        assert ckpt.count == 6 and ckpt.open == 0
+        # durations alternate 1.0 / 0.5 per run
+        assert sorted(ckpt.durations) == [0.5, 0.5, 0.5, 1.0, 1.0, 1.0]
+        assert nearest_rank(sorted(ckpt.durations), 0.5) == 0.5
+        restore = aggs["restore"]
+        assert restore.count == 3 and restore.open == 0
+
+    def test_open_spans_stay_out_of_durations(self):
+        tr = SpanTracer()
+        tr.begin(0, "ckpt", 1.0)  # never closed
+        store = TraceStore(":memory:")
+        store.ingest_attempt(
+            run_id="r",
+            campaign_id="c",
+            ord=0,
+            kind="kill",
+            scenario="s",
+            method="self",
+            seed=0,
+            label="l",
+            verdict="survived",
+            n_restarts=0,
+            makespan_s=1.0,
+            params={},
+            obs=attempt_payload(tr, MetricsRegistry(), "full"),
+        )
+        (agg,) = aggregate_spans(span_rows(store, QueryFilter()))
+        assert agg.count == 1 and agg.open == 1
+        assert agg.durations == []
+
+    def test_summary_stats_rollup(self):
+        store = _store()
+        rows = {r[0]: r for r in summary_stats(store, QueryFilter())}
+        assert rows["job.restarts"][1] == "3"  # 3 runs carry the key
+        assert rows["job.restarts"][2] == "3"  # total 0+1+2
+        assert "critical_path_s" in rows
+        assert "recovery_path_s" in rows
+
+    def test_summary_keys_restriction(self):
+        store = _store()
+        rows = summary_stats(store, QueryFilter(), keys=("job.restarts",))
+        assert [r[0] for r in rows] == ["job.restarts"]
+
+
+class TestByteStability:
+    def test_report_is_identical_across_builds(self):
+        a = query_report(_store(), QueryFilter())
+        b = query_report(_store(), QueryFilter())
+        assert a == b
+
+    def test_jsonl_is_identical_and_parseable(self):
+        a = query_jsonl(_store(), QueryFilter())
+        b = query_jsonl(_store(), QueryFilter())
+        assert a == b
+        records = [json.loads(line) for line in a.splitlines()]
+        kinds = {r["record"] for r in records}
+        assert kinds == {"run", "span_agg", "summary"}
+
+    def test_inf_renders_stably(self):
+        from repro.obs.query import _fmt
+
+        assert _fmt(math.inf) == "inf"
+        assert _fmt(0.5) == "0.5"
+        assert _fmt(1.0 / 3.0) == "0.333333"
+
+
+class TestTrend:
+    def _perf_record(self, speedup):
+        return {
+            "bench": "perf_kernels",
+            "gf_vec_mul": [{"size": 64, "speedup": speedup}],
+            "rs_encode": [],
+        }
+
+    def _baseline(self):
+        return {
+            "gf_vec_mul": [{"size": 64, "speedup": 6.0}],
+            "rs_encode": [],
+        }
+
+    def test_gate_passes_above_floor(self):
+        store = TraceStore(":memory:")
+        store.ingest_bench_record(self._perf_record(5.0))
+        rows, ok = perf_trend_rows(store, self._baseline())
+        assert ok and rows[0][-1] == "ok"
+
+    def test_gate_fails_below_floor(self):
+        store = TraceStore(":memory:")
+        store.ingest_bench_record(self._perf_record(1.0))  # floor is 2.0
+        rows, ok = perf_trend_rows(store, self._baseline())
+        assert not ok and rows[0][-1] == "REGRESSED"
+
+    def test_no_baseline_never_gates(self):
+        store = TraceStore(":memory:")
+        store.ingest_bench_record(self._perf_record(0.1))
+        rows, ok = perf_trend_rows(store, None)
+        assert ok and rows[0][-1] == "no-baseline"
+
+    def test_trend_report_covers_all_benches(self):
+        store = TraceStore(":memory:")
+        store.ingest_bench_record(self._perf_record(5.0))
+        store.ingest_bench_record(
+            {"bench": "obs", "scenario": "selfckpt", "seed": 1,
+             "completed": True, "n_restarts": 1, "makespan_s": 10.0,
+             "ckpt_count": 4.0, "traffic": {"bytes_stranded": 0.0}}
+        )
+        store.ingest_bench_record(
+            {"bench": "chaos", "seed": 0, "survived_all": True,
+             "matrices": [{"n_kill_points": 4,
+                           "verdicts": {"survived": 4}}]}
+        )
+        text, ok = trend_report(store, self._baseline())
+        assert ok
+        assert "perf speedup ratios" in text
+        assert "obs run trajectory" in text
+        assert "chaos campaign trajectory" in text
+
+    def test_empty_store_renders_placeholder(self):
+        text, ok = trend_report(TraceStore(":memory:"), None)
+        assert ok and "no bench records" in text
+
+
+class TestCliStoreGuard:
+    def test_query_refuses_missing_store(self, tmp_path):
+        from repro.obs.cli import obs_main
+
+        missing = tmp_path / "nope.sqlite"
+        with pytest.raises(SystemExit) as exc:
+            obs_main(["query", "--store", str(missing)])
+        assert exc.value.code == 2
+        # the guard exists so a typo'd path cannot conjure an empty store
+        assert not missing.exists()
+
+    def test_trend_refuses_missing_store(self, tmp_path):
+        from repro.obs.cli import obs_main
+
+        missing = tmp_path / "nope.sqlite"
+        with pytest.raises(SystemExit) as exc:
+            obs_main(["trend", "--store", str(missing)])
+        assert exc.value.code == 2
+        assert not missing.exists()
