@@ -21,6 +21,13 @@ are byte-identical to the serial run.  ``--cache DIR`` persists
 classified outcomes across invocations, keyed by a content fingerprint
 that includes the repo's source code — edit any protocol and every entry
 invalidates itself.
+
+``--shards N`` runs the campaign on the crash-tolerant
+:mod:`repro.shard` engine instead: the campaign is frozen into N
+content-addressed shards journaled to ``<out>/shards.sqlite``, so a
+killed executor's shard is re-issued and a killed driver resumes with
+``--resume DIR`` (same campaign flags) — in both cases finishing with
+artifacts byte-identical to an uninterrupted serial run.
 """
 
 from __future__ import annotations
@@ -41,6 +48,99 @@ from repro.chaos.schedules import RandomCampaignConfig, random_campaign
 from repro.chaos.shrink import shrink_failures
 
 SCENARIOS = ("selfckpt", "skt-hpl")
+
+
+def _finish_campaign(
+    args,
+    methods,
+    matrices,
+    schedules,
+    shrinks,
+    scenarios_by_matrix,
+    probes_by_matrix,
+    registry,
+    engine_desc: str,
+) -> int:
+    """Everything downstream of the replays: report, artifacts, store,
+    exit status.  Shared verbatim by the serial/pooled path and the
+    sharded path so their outputs cannot drift apart."""
+    text = render_campaign(matrices, schedules, shrinks)
+    print(text)
+    print()
+    print(
+        "campaign runs: "
+        f"{int(registry.total('chaos.runs'))} supervised jobs, "
+        f"{int(registry.total('chaos.kill_points'))} kill points "
+        f"({engine_desc})"
+    )
+
+    if not args.report_only:
+        os.makedirs(args.out, exist_ok=True)
+        report_path = os.path.join(args.out, "report.txt")
+        with open(report_path, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        bench_path = os.path.join(args.out, "BENCH_chaos.json")
+        write_bench(
+            bench_path,
+            bench_record(matrices, schedules, shrinks, seed=args.seed),
+        )
+        print(f"wrote report: {report_path}")
+        print(f"wrote bench: {bench_path}")
+
+    store_path = args.store
+    if store_path is None and args.obs != "off" and not args.report_only:
+        store_path = os.path.join(args.out, "obs.sqlite")
+    if store_path is not None:
+        from repro.obs.store import (
+            TraceStore,
+            campaign_id_for,
+            ingest_kill_matrix,
+            ingest_schedules,
+        )
+
+        cid = campaign_id_for(args.seed, args.scenario, methods)
+        with TraceStore(store_path) as store:
+            ord_ = 0
+            for scenario, probe, rep in zip(
+                scenarios_by_matrix, probes_by_matrix, matrices
+            ):
+                ord_ = ingest_kill_matrix(
+                    store, cid, scenario, rep,
+                    seed=args.seed, obs_mode=args.obs, ord_base=ord_,
+                    probe=probe,
+                )
+            if schedules is not None and scenarios_by_matrix:
+                ord_ = ingest_schedules(
+                    store, cid, scenarios_by_matrix[0], schedules,
+                    seed=args.seed, obs_mode=args.obs, ord_base=ord_,
+                )
+            n_runs, digest = store.counts()["runs"], store.digest()
+        print(
+            f"stored campaign {cid} in {store_path} "
+            f"({n_runs} runs, digest {digest[:12]})"
+        )
+
+    ok = all(rep.survived_all for rep in matrices) and not any(
+        r.verdict == VERDICT_WRONG_ANSWER for r in schedules or []
+    )
+    return 0 if ok else 1
+
+
+def _count_campaign(registry, matrices, schedules) -> None:
+    """Reproduce the serial engine's campaign counters from merged
+    results, so the sharded path's summary line and metrics exports
+    match a serial run of the same campaign."""
+    from repro.chaos.campaign import _VERDICT_METRIC
+
+    for rep in matrices:
+        registry.counter("chaos.kill_points").inc(len(rep.results))
+        registry.counter("chaos.runs").inc(len(rep.results) + 1)  # + baseline
+        for r in rep.results:
+            registry.counter(_VERDICT_METRIC[r.verdict]).inc()
+    if schedules is not None:
+        registry.counter("chaos.runs").inc(len(schedules) + 1)  # + baseline
+        for r in schedules:
+            registry.counter(_VERDICT_METRIC[r.verdict]).inc()
 
 
 def _build_scenario(args: argparse.Namespace, method: str):
@@ -133,6 +233,21 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         "serial — artifacts are byte-identical either way)",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run on the crash-tolerant sharded engine with N shards "
+        "(one executor process per shard; journal in <out>/shards.sqlite)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume an interrupted sharded campaign from DIR (pass the "
+        "same campaign flags plus the same --shards N)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=60.0, metavar="SECONDS",
+        help="shard lease duration; a crashed executor's shard is "
+        "re-issued after this long (default: 60)",
+    )
+    parser.add_argument(
         "--cache", default=None, metavar="DIR",
         help="persist classified replay outcomes under DIR (content-"
         "addressed; invalidates automatically when the source changes)",
@@ -198,16 +313,67 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     cache = MemoCache(args.cache) if args.cache else MemoCache()
     progress = None if args.no_progress else ProgressReporter(label="chaos")
 
-    store_path = args.store
-    if store_path is None and args.obs != "off" and not args.report_only:
-        store_path = os.path.join(args.out, "obs.sqlite")
+    if args.resume is not None and not args.shards:
+        parser.error("--resume requires --shards N (the original shard count)")
+    if args.shards:
+        if args.shards < 1:
+            parser.error(f"--shards must be >= 1, got {args.shards}")
+        if workers != 1:
+            parser.error(
+                "--shards and --workers are mutually exclusive: the "
+                "sharded engine already runs one process per shard"
+            )
+        if args.resume is not None:
+            args.out = args.resume
+        import sys
+
+        from repro.shard import ShardCampaignError, run_sharded_campaign
+        from repro.shard.queue import QueueMismatchError
+
+        scenarios = [_build_scenario(args, m) for m in methods]
+        random_cfg = None
+        if args.random:
+            random_cfg = RandomCampaignConfig(
+                n_schedules=args.random,
+                seed=args.seed,
+                mtbf_scale=args.mtbf_scale,
+            )
+        try:
+            plan, matrices, schedules, _ = run_sharded_campaign(
+                scenarios,
+                n_shards=args.shards,
+                out_dir=args.out,
+                seed=args.seed,
+                obs=args.obs,
+                max_occurrences=args.max_occurrences,
+                random_cfg=random_cfg,
+                lease_s=args.lease,
+                cache_dir=args.cache,
+                progress=progress,
+            )
+        except ShardCampaignError as err:
+            print(f"repro chaos: {err}", file=sys.stderr)
+            return 3
+        except QueueMismatchError as err:
+            print(f"repro chaos: {err}", file=sys.stderr)
+            return 2
+        shrinks = None
+        if args.shrink and schedules is not None:
+            shrinks = shrink_failures(
+                scenarios[0], schedules, registry=registry, cache=cache
+            )
+        _count_campaign(registry, matrices, schedules)
+        return _finish_campaign(
+            args, methods, matrices, schedules, shrinks,
+            scenarios, [m.probe for m in plan.matrices], registry,
+            f"{args.shards} shard{'s' if args.shards != 1 else ''}",
+        )
 
     matrices = []
     schedules = None
     shrinks = None
     scenarios_by_matrix = []
     probes_by_matrix = []
-    random_scenario = None
     for method in methods:
         scenario = _build_scenario(args, method)
         probe = probe_baseline(scenario)
@@ -231,7 +397,6 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 mtbf_scale=args.mtbf_scale,
             )
-            random_scenario = scenario
             schedules = random_campaign(
                 scenario,
                 cfg,
@@ -247,65 +412,13 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                     scenario, schedules, registry=registry, cache=cache
                 )
 
-    text = render_campaign(matrices, schedules, shrinks)
-    print(text)
-    print()
     hits = int(registry.total("par.cache_hits"))
     cached = f", {hits} cached" if hits else ""
-    print(
-        "campaign runs: "
-        f"{int(registry.total('chaos.runs'))} supervised jobs, "
-        f"{int(registry.total('chaos.kill_points'))} kill points "
-        f"({workers} worker{'s' if workers != 1 else ''}{cached})"
+    return _finish_campaign(
+        args, methods, matrices, schedules, shrinks,
+        scenarios_by_matrix, probes_by_matrix, registry,
+        f"{workers} worker{'s' if workers != 1 else ''}{cached}",
     )
-
-    if not args.report_only:
-        os.makedirs(args.out, exist_ok=True)
-        report_path = os.path.join(args.out, "report.txt")
-        with open(report_path, "w", encoding="utf-8") as f:
-            f.write(text + "\n")
-        bench_path = os.path.join(args.out, "BENCH_chaos.json")
-        write_bench(
-            bench_path,
-            bench_record(matrices, schedules, shrinks, seed=args.seed),
-        )
-        print(f"wrote report: {report_path}")
-        print(f"wrote bench: {bench_path}")
-
-    if store_path is not None:
-        from repro.obs.store import (
-            TraceStore,
-            campaign_id_for,
-            ingest_kill_matrix,
-            ingest_schedules,
-        )
-
-        cid = campaign_id_for(args.seed, args.scenario, methods)
-        with TraceStore(store_path) as store:
-            ord_ = 0
-            for scenario, probe, rep in zip(
-                scenarios_by_matrix, probes_by_matrix, matrices
-            ):
-                ord_ = ingest_kill_matrix(
-                    store, cid, scenario, rep,
-                    seed=args.seed, obs_mode=args.obs, ord_base=ord_,
-                    probe=probe,
-                )
-            if schedules is not None and random_scenario is not None:
-                ord_ = ingest_schedules(
-                    store, cid, random_scenario, schedules,
-                    seed=args.seed, obs_mode=args.obs, ord_base=ord_,
-                )
-            n_runs, digest = store.counts()["runs"], store.digest()
-        print(
-            f"stored campaign {cid} in {store_path} "
-            f"({n_runs} runs, digest {digest[:12]})"
-        )
-
-    ok = all(rep.survived_all for rep in matrices) and not any(
-        r.verdict == VERDICT_WRONG_ANSWER for r in schedules or []
-    )
-    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

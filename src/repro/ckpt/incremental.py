@@ -107,17 +107,29 @@ class IncrementalCheckpoint(Checkpointer):
 
     # -- dirty detection -----------------------------------------------------------
     def _dirty_pages(self, flat: np.ndarray) -> np.ndarray:
-        """Indices of pages where ``flat`` differs from the reference B."""
+        """Indices of pages where ``flat`` differs from the reference B.
+
+        The page-aligned prefix is compared through zero-copy reshaped
+        views; only a non-aligned tail page (if any) is compared as a
+        ragged slice — no padded copies of either buffer are made.
+        """
         pb = self.page_bytes
-        n_pages = -(-len(flat) // pb)
-        pad = n_pages * pb - len(flat)
-        if pad:
-            flat = np.concatenate([flat, np.zeros(pad, np.uint8)])
-            ref = np.concatenate([self._b, np.zeros(pad, np.uint8)])
+        ref = self._b
+        n_full = len(flat) // pb
+        aligned = n_full * pb
+        if n_full:
+            diff = (
+                flat[:aligned].reshape(n_full, pb)
+                != ref[:aligned].reshape(n_full, pb)
+            ).any(axis=1)
+            dirty = np.nonzero(diff)[0]
         else:
-            ref = self._b
-        diff = (flat.reshape(n_pages, pb) != ref.reshape(n_pages, pb)).any(axis=1)
-        return np.nonzero(diff)[0]
+            dirty = np.zeros(0, dtype=np.intp)
+        if aligned < len(flat) and not np.array_equal(
+            flat[aligned:], ref[aligned:]
+        ):
+            dirty = np.concatenate([dirty, np.array([n_full], dtype=np.intp)])
+        return dirty
 
     # -- checkpoint ------------------------------------------------------------------
     def checkpoint(self) -> CheckpointInfo:

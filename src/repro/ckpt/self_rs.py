@@ -62,5 +62,9 @@ class SelfCheckpointRS(SelfCheckpoint):
         return out
 
     def _unpack_parity(self, blob: np.ndarray):
+        """Split a checksum segment into its (P, Q) halves as zero-copy
+        views.  Callers that feed the pair into a collective alongside the
+        live segments pass a copy of the blob (``try_restore``/``verify``
+        already do), so the views never alias SHM state mid-rebuild."""
         half = len(blob) // 2
-        return blob[:half].copy(), blob[half:].copy()
+        return blob[:half], blob[half:]

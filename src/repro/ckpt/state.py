@@ -97,12 +97,14 @@ class StateLayout:
                 f"{self.a2_capacity}B; raise a2_capacity or shrink local state"
             )
         out = np.zeros(8 + self.a2_capacity, dtype=np.uint8)
-        out[:8] = np.frombuffer(np.uint64(len(blob)).tobytes(), dtype=np.uint8)
+        # explicit little-endian length header: checkpoint images (and every
+        # fingerprint derived from them) must be byte-stable across platforms
+        out[:8] = np.frombuffer(np.uint64(len(blob)).astype("<u8").tobytes(), dtype=np.uint8)
         out[8 : 8 + len(blob)] = np.frombuffer(blob, dtype=np.uint8)
         return out
 
     def unpack_a2(self, blob: np.ndarray) -> Dict[str, Any]:
-        n = int(np.frombuffer(blob[:8].tobytes(), dtype=np.uint64)[0])
+        n = int(np.frombuffer(blob[:8].tobytes(), dtype="<u8")[0])
         if n > self.a2_capacity:
             raise ValueError(f"corrupt A2 header: length {n}")
         return pickle.loads(blob[8 : 8 + n].tobytes())

@@ -155,10 +155,16 @@ _PRAGMA_RE = re.compile(
 class LintConfig:
     """Per-rule module allowlists (prefix match on dotted module names)."""
 
-    wallclock_allow: Tuple[str, ...] = ("repro.sim.mpi", "repro.par.progress")
+    wallclock_allow: Tuple[str, ...] = (
+        "repro.sim.mpi",
+        "repro.par.progress",
+        # lease expiry is real-world liveness (a dead executor's wall
+        # clock stops), so the shard queue must read the host clock
+        "repro.shard",
+    )
     threading_allow: Tuple[str, ...] = ("repro.sim",)
     rng_allow: Tuple[str, ...] = ("repro.util.rng",)
-    parallel_allow: Tuple[str, ...] = ("repro.par",)
+    parallel_allow: Tuple[str, ...] = ("repro.par", "repro.shard")
     rules: Tuple[str, ...] = ALL_RULES
 
 

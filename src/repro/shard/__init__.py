@@ -1,0 +1,64 @@
+"""repro.shard — the crash-tolerant sharded campaign engine.
+
+``repro chaos --workers N`` fans replays over one multiprocessing pool;
+lose the host and the whole campaign is gone.  This package holds the
+campaign engine to the same bar the paper holds recovery machinery to:
+the campaign itself must survive failures *of the campaign engine*.
+
+Pieces:
+
+* :mod:`repro.shard.planner` — partitions a kill matrix / randomized
+  campaign into pickleable, content-addressed shards.  Unit identity is
+  the :func:`~repro.par.cache.replay_fingerprint` the memo cache already
+  uses; shard identity is a digest over its member fingerprints, and the
+  plan fingerprint over the shard ids — change any parameter or any
+  source file and the plan no longer matches a stale queue.
+* :mod:`repro.shard.queue` — a SQLite work queue (claim → run → commit)
+  with lease timeouts: a shard whose executor died is re-issued once its
+  lease expires, and per-unit journaling means a re-issued shard skips
+  everything the dead executor already finished.
+* :mod:`repro.shard.executor` — the worker loop: claim a shard, replay
+  each unjournaled unit (crash-folded exactly like the serial engine),
+  journal the outcome, commit the shard.
+* :mod:`repro.shard.merge` — folds journaled outcomes back into the
+  canonical :class:`~repro.chaos.campaign.CampaignReport` /
+  :class:`~repro.chaos.schedules.ScheduleResult` sequences, so the
+  ``BENCH_chaos.json``, ``report.txt`` and trace-store digests are
+  byte-identical to the serial engine's.
+* :mod:`repro.shard.driver` — ``repro chaos --shards N [--resume DIR]``:
+  create or reopen the queue, launch executors, wait, merge.  Killing
+  the driver or any executor mid-campaign and resuming completes the
+  campaign with byte-identical artifacts.
+
+Replay determinism is what makes this sound: every unit is a pure
+function of its fingerprint, so re-running a lost unit (or running it
+twice during a lease race) produces the identical journal row.
+"""
+
+from repro.shard.driver import ShardCampaignError, run_sharded_campaign
+from repro.shard.executor import run_executor
+from repro.shard.merge import merge_campaign
+from repro.shard.planner import (
+    PLAN_SCHEMA_VERSION,
+    CampaignPlan,
+    MatrixPlan,
+    PlannedUnit,
+    ShardPlan,
+    plan_campaign,
+)
+from repro.shard.queue import QUEUE_SCHEMA_VERSION, ShardQueue
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "QUEUE_SCHEMA_VERSION",
+    "CampaignPlan",
+    "MatrixPlan",
+    "PlannedUnit",
+    "ShardCampaignError",
+    "ShardPlan",
+    "ShardQueue",
+    "merge_campaign",
+    "plan_campaign",
+    "run_executor",
+    "run_sharded_campaign",
+]

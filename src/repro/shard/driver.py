@@ -1,0 +1,158 @@
+"""Shard driver: plan → queue → executors → merge, crash-tolerant end to end.
+
+``repro chaos --shards N`` lands here.  The driver freezes the campaign
+into a plan, binds (or resumes) the SQLite queue under the ``--out``
+directory, launches N independent executor processes against it, and
+merges the journal into the serial engine's artifacts when every shard
+is done.
+
+Two failure modes, one answer:
+
+* **an executor dies** — its lease expires and a surviving executor
+  re-claims the shard, skipping the journaled units.  The campaign
+  finishes in the same invocation, no operator action needed.
+* **the driver dies** (or every executor does) — the queue file holds
+  every journaled outcome.  Re-running with ``--resume DIR`` re-plans,
+  verifies the plan fingerprint against the queue, and continues from
+  the journal.  Replays are deterministic, so the resumed campaign's
+  ``BENCH_chaos.json``, ``report.txt`` and store digests are
+  byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.campaign import CampaignReport
+from repro.chaos.schedules import RandomCampaignConfig, ScheduleResult
+
+from repro.shard.executor import run_executor
+from repro.shard.merge import merge_campaign
+from repro.shard.planner import CampaignPlan, plan_campaign
+from repro.shard.queue import ShardQueue, queue_path_for
+
+
+class ShardCampaignError(RuntimeError):
+    """The campaign could not be completed in this invocation; the queue
+    remains resumable."""
+
+
+def _spawn_executors(
+    ctx: Any,
+    n: int,
+    queue_path: str,
+    *,
+    lease_s: float,
+    cache_dir: Optional[str],
+    poll_s: float,
+) -> List[Any]:
+    procs = []
+    for i in range(n):
+        p = ctx.Process(
+            target=run_executor,
+            args=(queue_path, i),
+            kwargs={
+                "lease_s": lease_s,
+                "cache_dir": cache_dir,
+                "poll_s": poll_s,
+            },
+            daemon=False,  # executors must outlive nothing, but be killable
+        )
+        p.start()
+        procs.append(p)
+    return procs
+
+
+def run_sharded_campaign(
+    scenarios: Sequence[Any],
+    *,
+    n_shards: int,
+    out_dir: str,
+    seed: int = 0,
+    obs: str = "off",
+    max_occurrences: Optional[int] = None,
+    random_cfg: Optional[RandomCampaignConfig] = None,
+    lease_s: float = 60.0,
+    cache_dir: Optional[str] = None,
+    executors: Optional[int] = None,
+    poll_s: float = 0.05,
+    progress: Any = None,
+    mp_context: Optional[str] = None,
+) -> Tuple[
+    CampaignPlan,
+    List[CampaignReport],
+    Optional[List[ScheduleResult]],
+    Dict[str, int],
+]:
+    """Run (or resume) one sharded campaign to completion and merge it.
+
+    ``scenarios`` is one scenario per method, in method order — the same
+    list the serial CLI builds.  The queue lives at
+    ``queue_path_for(out_dir)``; when it already exists it is resumed
+    (after the plan-fingerprint check) and only unjournaled units run.
+    ``executors`` defaults to one process per shard, capped at
+    ``n_shards``.  Returns ``(plan, matrices, schedules, stats)`` with
+    ``matrices``/``schedules`` bit-for-bit what the serial engine
+    produces.
+
+    Raises :class:`ShardCampaignError` when every executor exits with
+    shards still unfinished (e.g. all were fault-injected away) — the
+    queue keeps the journal, so rerunning with ``--resume`` continues.
+    """
+    plan = plan_campaign(
+        scenarios,
+        n_shards=n_shards,
+        seed=seed,
+        obs=obs,
+        max_occurrences=max_occurrences,
+        random_cfg=random_cfg,
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    queue_path = queue_path_for(out_dir)
+    ctx = multiprocessing.get_context(mp_context)
+    with ShardQueue(queue_path) as queue:
+        queue.populate(plan)  # fresh run or fingerprint-checked resume
+        n_exec = executors if executors is not None else len(plan.shards)
+        n_exec = max(1, min(n_exec, len(plan.shards)))
+        if progress is not None:
+            progress.start(plan.n_units, n_exec)
+        if not queue.all_done():
+            procs = _spawn_executors(
+                ctx,
+                n_exec,
+                queue_path,
+                lease_s=lease_s,
+                cache_dir=cache_dir,
+                poll_s=poll_s,
+            )
+            try:
+                while any(p.is_alive() for p in procs):
+                    if progress is not None:
+                        stats = queue.progress()
+                        progress.update(
+                            stats["done_units"],
+                            stats["total_units"],
+                            0,
+                            sum(1 for p in procs if p.is_alive()),
+                        )
+                    time.sleep(poll_s)
+            finally:
+                for p in procs:
+                    p.join()
+        stats = queue.progress()
+        if not queue.all_done():
+            raise ShardCampaignError(
+                f"campaign incomplete: {stats['done_units']}/"
+                f"{stats['total_units']} units journaled, "
+                f"{stats['done_shards']}/{stats['total_shards']} shards "
+                f"committed — every executor exited; resume with "
+                f"--shards {n_shards} --resume {out_dir}"
+            )
+        outcomes = queue.outcomes()
+    matrices, schedules = merge_campaign(plan, outcomes)
+    if progress is not None:
+        progress.finish(stats["done_units"], stats["total_units"], 0, n_exec)
+    return plan, matrices, schedules, stats

@@ -1,0 +1,108 @@
+"""Shard executor: the worker loop one process runs against the queue.
+
+An executor needs only the queue path.  It claims a shard, replays every
+unit that isn't journaled yet (so a re-issued shard skips the dead
+executor's finished work), journals each outcome the moment it exists,
+renews its lease between units, and commits the shard when the last unit
+is down.  It keeps claiming until the queue reports every shard done —
+including shards re-issued from *other* executors' expired leases, which
+is what lets a campaign finish even when all but one worker die.
+
+Crash folding matches the serial engine exactly: a replay that raises
+becomes a ``gave-up`` :func:`~repro.par.replay.crash_outcome` journal
+row, never a lost campaign.
+
+Fault injection for the crash/resume tests lives here too: set
+``REPRO_SHARD_DIE_AFTER=K`` and the executor whose index matches
+``REPRO_SHARD_DIE_WORKER`` (default 0; ``all`` for every executor)
+hard-exits (``os._exit``) after journaling K units — a real
+SIGKILL-grade death: no commit, lease left dangling, WAL mid-flight.
+Killing worker 0 exercises the lease re-issue path (survivors finish
+the campaign); killing ``all`` leaves a partial journal the next
+invocation resumes, deterministically reproducing a dead driver.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.par.cache import MemoCache
+from repro.par.replay import ReplayOutcome, ReplaySpec, crash_outcome, replay
+
+from repro.shard.queue import ShardQueue
+
+#: env hooks for the kill-an-executor tests and the CI smoke job
+DIE_AFTER_ENV = "REPRO_SHARD_DIE_AFTER"
+DIE_WORKER_ENV = "REPRO_SHARD_DIE_WORKER"
+
+#: ``os._exit`` code of a fault-injected death, so tests can tell a
+#: simulated crash from a real one
+DIE_EXIT_CODE = 86
+
+
+def _die_after(worker_index: int) -> Optional[int]:
+    raw = os.environ.get(DIE_AFTER_ENV)
+    if raw is None:
+        return None
+    victim = os.environ.get(DIE_WORKER_ENV, "0")
+    if victim != "all" and worker_index != int(victim):
+        return None
+    return int(raw)
+
+
+def _run_unit(spec: ReplaySpec, cache: Optional[MemoCache], key: str) -> ReplayOutcome:
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    try:
+        outcome = replay(spec)
+    except Exception as exc:  # fold, don't lose the campaign
+        return crash_outcome(spec, exc)
+    if cache is not None:
+        cache.put(key, outcome)
+    return outcome
+
+
+def run_executor(
+    queue_path: str,
+    worker_index: int,
+    *,
+    lease_s: float = 60.0,
+    cache_dir: Optional[str] = None,
+    poll_s: float = 0.05,
+    owner: Optional[str] = None,
+) -> int:
+    """Drain the queue at ``queue_path``; returns units this worker ran.
+
+    Spawned by the driver as an independent process, but also callable
+    inline (the tests drive single executors through crash/resume
+    scenarios this way).  ``owner`` defaults to a per-process identity
+    so lease rows name their claimant.
+    """
+    if owner is None:
+        owner = f"exec{worker_index}.pid{os.getpid()}"
+    die_after = _die_after(worker_index)
+    cache = MemoCache(cache_dir) if cache_dir else None
+    executed = 0
+    with ShardQueue(queue_path) as queue:
+        while not queue.all_done():
+            shard_id = queue.claim(owner, lease_s)
+            if shard_id is None:
+                # every remaining shard is live-leased elsewhere; linger
+                # in case one of those leases expires
+                time.sleep(poll_s)
+                continue
+            for ord_, fingerprint, spec in queue.shard_units(shard_id):
+                if queue.has_result(ord_):
+                    continue  # journaled by a previous (dead) claimant
+                outcome = _run_unit(spec, cache, fingerprint)
+                queue.record(ord_, fingerprint, outcome)
+                queue.renew(shard_id, owner, lease_s)
+                executed += 1
+                if die_after is not None and executed >= die_after:
+                    os._exit(DIE_EXIT_CODE)  # simulated executor crash
+            queue.commit_shard(shard_id, owner)
+    return executed

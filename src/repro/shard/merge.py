@@ -1,0 +1,82 @@
+"""Deterministic merger: journaled outcomes → canonical campaign results.
+
+The merger is where byte-identity with the serial engine is won.  It
+does *no* classification of its own: it pairs each journaled
+:class:`~repro.par.replay.ReplayOutcome` with the plan metadata of its
+unit and rebuilds results through the exact same constructors the serial
+sweep uses (:func:`~repro.chaos.campaign._kill_result`,
+:func:`~repro.chaos.schedules._schedule_result`), in the exact plan
+order (kill points in matrix order, then schedules in index order).
+Downstream — ``render_campaign``, ``bench_record``, trace-store
+ingestion — then runs the serial code paths verbatim, so
+``BENCH_chaos.json``, ``report.txt`` and the store digests cannot
+diverge by construction.
+
+Results are keyed by plan **ordinal**, never by fingerprint: two random
+schedules can legitimately collide on content (e.g. both drew an empty
+trigger set), and the ordinal is what keeps them distinct rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.campaign import CampaignReport, ChaosError, _kill_result
+from repro.chaos.schedules import ScheduleResult, _schedule_result
+from repro.par.replay import ReplayOutcome
+
+from repro.shard.planner import KIND_KILL, KIND_RANDOM, CampaignPlan
+
+
+def missing_ords(plan: CampaignPlan, outcomes: Dict[int, ReplayOutcome]) -> List[int]:
+    """Plan ordinals with no journaled outcome (the resume to-do list)."""
+    return [u.ord for u in plan.units if u.ord not in outcomes]
+
+
+def merge_campaign(
+    plan: CampaignPlan, outcomes: Dict[int, ReplayOutcome]
+) -> Tuple[List[CampaignReport], Optional[List[ScheduleResult]]]:
+    """Fold journaled outcomes into the serial engine's result objects.
+
+    Returns one :class:`CampaignReport` per planned matrix (method
+    order) and the randomized :class:`ScheduleResult` list (``None``
+    when the plan drew no schedules).  Raises
+    :class:`~repro.chaos.campaign.ChaosError` when any unit is missing —
+    merging a partial campaign would silently fabricate artifacts.
+    """
+    missing = missing_ords(plan, outcomes)
+    if missing:
+        raise ChaosError(
+            f"cannot merge: {len(missing)} of {plan.n_units} units have no "
+            f"journaled outcome (first missing ord {missing[0]}); resume "
+            "the campaign to completion first"
+        )
+    matrices: List[CampaignReport] = [
+        CampaignReport(
+            scenario=m.scenario_name,
+            params=dict(m.params),
+            baseline_makespan_s=m.probe.makespan_s,
+        )
+        for m in plan.matrices
+    ]
+    schedules: List[ScheduleResult] = []
+    for unit in plan.units:
+        outcome = outcomes[unit.ord]
+        if unit.kind == KIND_KILL:
+            assert unit.point is not None
+            matrices[unit.matrix].results.append(
+                _kill_result(unit.point, outcome)
+            )
+        elif unit.kind == KIND_RANDOM:
+            assert unit.schedule_index is not None
+            schedules.append(
+                _schedule_result(
+                    unit.schedule_index,
+                    list(plan.schedules[unit.schedule_index]),
+                    outcome,
+                )
+            )
+        else:  # pragma: no cover - planner enforces the kind vocabulary
+            raise ChaosError(f"unknown unit kind {unit.kind!r}")
+    schedules.sort(key=lambda s: s.index)
+    return matrices, (schedules if plan.schedules else None)

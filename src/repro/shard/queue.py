@@ -1,0 +1,311 @@
+"""The SQLite work queue: claim → run → commit, with lease timeouts.
+
+One file (``shards.sqlite`` under the campaign's ``--out`` directory)
+holds the whole campaign's durable state: the plan identity, every
+shard's lease status and every journaled unit outcome.  All mutations
+are single atomic transactions over stdlib :mod:`sqlite3` (WAL mode, so
+N executor processes and the driver share the file), which gives the
+campaign the crash-consistency story the checkpoint protocols give the
+application:
+
+* **claim** — an executor atomically takes the first shard that is
+  ``pending`` *or* whose lease expired (its executor died); the lease is
+  stamped with an expiry so a crashed claimant's work is re-issued.
+* **run** — each finished unit is journaled immediately (``INSERT OR
+  REPLACE`` keyed by the unit's plan ordinal), so a shard that dies
+  mid-flight loses at most the unit in progress.  Replays are
+  deterministic, so a lease race double-running a unit writes the
+  identical row — idempotence by content, not by locking.
+* **commit** — the shard flips to ``done`` only when every unit is
+  journaled; the driver's merge barrier waits on all shards being done.
+
+The queue never parses outcomes: it stores the canonical JSON of
+:class:`~repro.par.replay.ReplayOutcome` and hands it back verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sqlite3
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.par.replay import ReplayOutcome
+
+from repro.shard.planner import CampaignPlan
+
+#: bump when the table layout changes incompatibly
+QUEUE_SCHEMA_VERSION = 1
+
+#: shard states
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shards (
+    shard_id      TEXT PRIMARY KEY,
+    idx           INTEGER NOT NULL,
+    n_units       INTEGER NOT NULL,
+    status        TEXT NOT NULL,
+    owner         TEXT,
+    lease_expires REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS units (
+    ord         INTEGER PRIMARY KEY,
+    shard_id    TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    spec        BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    ord          INTEGER PRIMARY KEY,
+    fingerprint  TEXT NOT NULL,
+    outcome_json TEXT NOT NULL
+);
+"""
+
+
+class QueueMismatchError(RuntimeError):
+    """An existing queue belongs to a different plan (params or code
+    changed since it was created); resuming it would merge stale rows."""
+
+
+class ShardQueue:
+    """Crash-tolerant campaign work queue over one SQLite file."""
+
+    def __init__(
+        self, path: str, *, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.path = path
+        self.clock = clock
+        # autocommit + explicit BEGIN IMMEDIATE where multi-statement
+        # atomicity is needed: sqlite3's implicit transaction management
+        # and hand-rolled BEGINs do not mix
+        self._conn = sqlite3.connect(path, timeout=60.0, isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=60000")
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ShardQueue":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _txn(self) -> "_Transaction":
+        return _Transaction(self._conn)
+
+    # -- meta / population -------------------------------------------------------
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    @property
+    def plan_fingerprint(self) -> Optional[str]:
+        return self._meta("plan_fingerprint")
+
+    def populate(self, plan: CampaignPlan) -> bool:
+        """Bind the queue to ``plan``, inserting shards and units.
+
+        Idempotent: a queue already populated with the *same* plan is
+        left untouched (journaled results and shard states survive — the
+        resume path).  A queue populated with a different plan raises
+        :class:`QueueMismatchError`.  Returns True when the queue was
+        freshly populated, False when it resumed an existing one.
+        """
+        existing = self.plan_fingerprint
+        if existing is not None:
+            if existing != plan.fingerprint:
+                raise QueueMismatchError(
+                    f"queue {self.path} was created for plan {existing[:12]}, "
+                    f"current invocation plans {plan.fingerprint[:12]} — the "
+                    "campaign parameters or the source code changed; start a "
+                    "fresh --out directory (or rerun the original command)"
+                )
+            return False
+        with self._txn():
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema", str(QUEUE_SCHEMA_VERSION)),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("plan_fingerprint", plan.fingerprint),
+            )
+            self._conn.executemany(
+                "INSERT INTO shards (shard_id, idx, n_units, status, "
+                "attempts) VALUES (?,?,?,?,0)",
+                [
+                    (s.shard_id, s.index, len(s.unit_ords), PENDING)
+                    for s in plan.shards
+                ],
+            )
+            self._conn.executemany(
+                "INSERT INTO units (ord, shard_id, fingerprint, spec) "
+                "VALUES (?,?,?,?)",
+                [
+                    (
+                        u.ord,
+                        s.shard_id,
+                        u.fingerprint,
+                        pickle.dumps(u.spec, protocol=pickle.HIGHEST_PROTOCOL),
+                    )
+                    for s in plan.shards
+                    for u in (plan.units[o] for o in s.unit_ords)
+                ],
+            )
+        return True
+
+    # -- executor protocol -------------------------------------------------------
+    def claim(self, owner: str, lease_s: float) -> Optional[str]:
+        """Atomically claim the first runnable shard, or None.
+
+        Runnable means ``pending``, or ``leased`` with an expired lease —
+        the crashed-executor re-issue path.  The claim stamps ``owner``
+        and a fresh expiry in the same transaction that reads the row, so
+        two executors never hold the same live lease.
+        """
+        now = self.clock()
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT shard_id FROM shards WHERE status = ? OR "
+                "(status = ? AND lease_expires < ?) ORDER BY idx LIMIT 1",
+                (PENDING, LEASED, now),
+            ).fetchone()
+            if row is None:
+                return None
+            shard_id = str(row[0])
+            self._conn.execute(
+                "UPDATE shards SET status = ?, owner = ?, lease_expires = ?, "
+                "attempts = attempts + 1 WHERE shard_id = ?",
+                (LEASED, owner, now + lease_s, shard_id),
+            )
+        return shard_id
+
+    def renew(self, shard_id: str, owner: str, lease_s: float) -> None:
+        """Extend a live lease (called after every journaled unit)."""
+        with self._txn():
+            self._conn.execute(
+                "UPDATE shards SET lease_expires = ? "
+                "WHERE shard_id = ? AND owner = ? AND status = ?",
+                (self.clock() + lease_s, shard_id, owner, LEASED),
+            )
+
+    def shard_units(self, shard_id: str) -> List[Tuple[int, str, Any]]:
+        """(ord, fingerprint, ReplaySpec) of the shard's units, in plan
+        order — the queue is self-contained: an executor needs nothing
+        but the queue path to run its claims."""
+        return [
+            (int(o), str(f), pickle.loads(blob))
+            for o, f, blob in self._conn.execute(
+                "SELECT ord, fingerprint, spec FROM units WHERE shard_id = ? "
+                "ORDER BY ord",
+                (shard_id,),
+            )
+        ]
+
+    def has_result(self, ord: int) -> bool:
+        return (
+            self._conn.execute(
+                "SELECT 1 FROM results WHERE ord = ?", (ord,)
+            ).fetchone()
+            is not None
+        )
+
+    def record(self, ord: int, fingerprint: str, outcome: ReplayOutcome) -> None:
+        """Journal one unit outcome — durable the moment this returns."""
+        with self._txn():
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (ord, fingerprint, "
+                "outcome_json) VALUES (?,?,?)",
+                (
+                    ord,
+                    fingerprint,
+                    json.dumps(outcome.to_json(), sort_keys=True),
+                ),
+            )
+
+    def commit_shard(self, shard_id: str, owner: str) -> None:
+        """Flip a fully-journaled shard to ``done``."""
+        with self._txn():
+            self._conn.execute(
+                "UPDATE shards SET status = ?, owner = ?, lease_expires = "
+                "NULL WHERE shard_id = ?",
+                (DONE, owner, shard_id),
+            )
+
+    # -- driver / merge reads ----------------------------------------------------
+    def all_done(self) -> bool:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM shards WHERE status != ?", (DONE,)
+        ).fetchone()
+        return int(row[0]) == 0
+
+    def progress(self) -> Dict[str, int]:
+        done_units = int(
+            self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        )
+        total_units = int(
+            self._conn.execute("SELECT COUNT(*) FROM units").fetchone()[0]
+        )
+        done_shards = int(
+            self._conn.execute(
+                "SELECT COUNT(*) FROM shards WHERE status = ?", (DONE,)
+            ).fetchone()[0]
+        )
+        total_shards = int(
+            self._conn.execute("SELECT COUNT(*) FROM shards").fetchone()[0]
+        )
+        return {
+            "done_units": done_units,
+            "total_units": total_units,
+            "done_shards": done_shards,
+            "total_shards": total_shards,
+        }
+
+    def outcomes(self) -> Dict[int, ReplayOutcome]:
+        """Every journaled outcome, keyed by plan ordinal."""
+        out: Dict[int, ReplayOutcome] = {}
+        for ord_, doc in self._conn.execute(
+            "SELECT ord, outcome_json FROM results ORDER BY ord"
+        ):
+            out[int(ord_)] = ReplayOutcome.from_json(json.loads(doc))
+        return out
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` … ``COMMIT``/``ROLLBACK`` over an autocommit
+    connection: takes the write lock up front so claim/journal races
+    between executor processes serialize instead of deadlocking."""
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+
+    def __enter__(self) -> sqlite3.Connection:
+        self._conn.execute("BEGIN IMMEDIATE")
+        return self._conn
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
+        if exc_type is None:
+            self._conn.execute("COMMIT")
+        else:
+            self._conn.execute("ROLLBACK")
+
+
+def queue_path_for(out_dir: str) -> str:
+    """Where a campaign's work queue lives relative to its ``--out``."""
+    return os.path.join(out_dir, "shards.sqlite")

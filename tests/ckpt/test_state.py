@@ -112,6 +112,29 @@ class TestRoundtrip:
         with pytest.raises(ValueError, match="corrupt"):
             layout.unpack_a2(blob)
 
+    def test_a2_header_golden_bytes(self, layout):
+        """The length header is pinned to explicit little-endian bytes:
+        checkpoint images (and every fingerprint derived from them) must
+        be byte-stable across platforms regardless of native endianness."""
+        import pickle
+
+        local = {"it": 7}
+        blob = layout.pack_a2(local)
+        n = len(pickle.dumps(local, protocol=pickle.HIGHEST_PROTOCOL))
+        assert 0 < n < 256  # the golden header below assumes one byte
+        expected_header = [n, 0, 0, 0, 0, 0, 0, 0]  # little-endian u64
+        assert blob[:8].tolist() == expected_header
+        assert int.from_bytes(blob[:8].tobytes(), "little") == n
+
+    def test_a2_header_rejects_big_endian_spelling(self, layout):
+        """A byte-swapped (big-endian) header is treated as corrupt, not
+        silently decoded — the regression the endianness pin guards."""
+        blob = layout.pack_a2({"k": 1})
+        swapped = blob.copy()
+        swapped[:8] = blob[:8][::-1]
+        with pytest.raises(ValueError, match="corrupt"):
+            layout.unpack_a2(swapped)
+
     @given(
         it=st.integers(min_value=-(2**40), max_value=2**40),
         vals=st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=6),

@@ -97,3 +97,90 @@ class TestVerifyShortCircuit:
         monkeypatch.setattr(RSCodec, "encode", counting_encode)
         assert not verify_group_rs(bufs, parity, n)
         assert calls["n"] == 1
+
+
+class TestZeroCopyStripes:
+    """The zero-copy contract of the (P, Q) kernels: stripe access and
+    parity unpacking are views, and the kernels never mutate inputs."""
+
+    def test_stripe_is_a_view(self):
+        from repro.ckpt.stripes_rs import _stripe
+
+        buf = np.arange(64, dtype=np.uint8)
+        s = _stripe(buf, 1, 4)
+        assert s.base is buf
+        s[0] = 0xAA  # writes through to the buffer
+        assert buf[16] == 0xAA
+
+    def test_unpack_parity_returns_views(self):
+        from repro.ckpt.self_rs import SelfCheckpointRS
+
+        inst = object.__new__(SelfCheckpointRS)
+        blob = np.arange(32, dtype=np.uint8)
+        p, q = inst._unpack_parity(blob)
+        assert p.base is blob and q.base is blob
+        np.testing.assert_array_equal(p, blob[:16])
+        np.testing.assert_array_equal(q, blob[16:])
+
+    def test_pack_unpack_parity_roundtrip(self):
+        from repro.ckpt.self_rs import SelfCheckpointRS
+
+        inst = object.__new__(SelfCheckpointRS)
+        n = 5
+        bufs = _group(n)
+        parity = build_parity(bufs, n)
+        blob = inst._pack_parity(parity[2])
+        p, q = inst._unpack_parity(blob)
+        np.testing.assert_array_equal(p, parity[2][0])
+        np.testing.assert_array_equal(q, parity[2][1])
+
+    def test_build_parity_does_not_mutate_buffers(self):
+        n = 6
+        bufs = _group(n)
+        before = [b.copy() for b in bufs]
+        build_parity(bufs, n)
+        for b, orig in zip(bufs, before):
+            np.testing.assert_array_equal(b, orig)
+
+    def test_reconstruct_with_view_parity_matches_copies(self):
+        """Recovery fed parity *views* (the post-fix `_unpack_parity`
+        output) rebuilds byte-identically to recovery fed copies, and
+        never writes through the views into survivor state."""
+        from repro.ckpt.stripes_rs import reconstruct_rs
+
+        n = 6
+        bufs = _group(n)
+        parity = build_parity(bufs, n)
+        missing = [1, 4]
+
+        def run(as_views):
+            survivors, sp = {}, {}
+            blobs = {}
+            for m in range(n):
+                if m in missing:
+                    continue
+                p, q = parity[m]
+                blob = np.empty(p.nbytes + q.nbytes, dtype=np.uint8)
+                blob[: p.nbytes] = p
+                blob[p.nbytes :] = q
+                blobs[m] = blob
+                if as_views:
+                    sp[m] = (blob[: p.nbytes], blob[p.nbytes :])
+                else:
+                    sp[m] = (blob[: p.nbytes].copy(), blob[p.nbytes :].copy())
+                survivors[m] = bufs[m]
+            out = reconstruct_rs(survivors, sp, missing, n)
+            return out, blobs
+
+        out_views, blobs = run(as_views=True)
+        out_copies, _ = run(as_views=False)
+        for m in missing:
+            np.testing.assert_array_equal(out_views[m][0], bufs[m])
+            np.testing.assert_array_equal(out_views[m][0], out_copies[m][0])
+            np.testing.assert_array_equal(out_views[m][1][0], out_copies[m][1][0])
+            np.testing.assert_array_equal(out_views[m][1][1], out_copies[m][1][1])
+        # survivor parity blobs were read, never written
+        for m, blob in blobs.items():
+            p, q = parity[m]
+            np.testing.assert_array_equal(blob[: p.nbytes], p)
+            np.testing.assert_array_equal(blob[p.nbytes :], q)

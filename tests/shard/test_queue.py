@@ -1,0 +1,153 @@
+"""Tests for the SQLite work queue (repro.shard.queue)."""
+
+import pytest
+
+from repro.chaos import probe_baseline, selfckpt_scenario
+from repro.par import ReplayOutcome
+from repro.shard import ShardQueue, plan_campaign
+from repro.shard.queue import QueueMismatchError, queue_path_for
+
+
+def small_scenario(**kw):
+    kw.setdefault("n_nodes", 2)
+    kw.setdefault("procs_per_node", 1)
+    kw.setdefault("group_size", 2)
+    kw.setdefault("iters", 4)
+    kw.setdefault("ckpt_every", 2)
+    kw.setdefault("method", "self")
+    return selfckpt_scenario(**kw)
+
+
+@pytest.fixture(scope="module")
+def plans():
+    sc = small_scenario()
+    probe = probe_baseline(sc)
+    return (
+        plan_campaign([sc], n_shards=2, probes=[probe]),
+        plan_campaign([sc], n_shards=3, probes=[probe]),
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def queue(tmp_path, plans):
+    clock = FakeClock()
+    q = ShardQueue(queue_path_for(str(tmp_path)), clock=clock)
+    q.clock_handle = clock
+    assert q.populate(plans[0]) is True
+    yield q
+    q.close()
+
+
+def outcome(tag: str = "x") -> ReplayOutcome:
+    return ReplayOutcome(
+        verdict="survived",
+        n_restarts=1,
+        makespan_s=12.5,
+        gave_up_reason=None,
+        fired=(f"fired:{tag}",),
+        obs={"metrics": {"runs": 1}},
+    )
+
+
+class TestPopulate:
+    def test_repopulate_same_plan_is_noop(self, queue, plans):
+        assert queue.populate(plans[0]) is False
+
+    def test_repopulate_preserves_results(self, queue, plans):
+        queue.record(0, plans[0].units[0].fingerprint, outcome())
+        queue.populate(plans[0])
+        assert queue.has_result(0)
+
+    def test_different_plan_rejected(self, queue, plans):
+        with pytest.raises(QueueMismatchError, match="plans"):
+            queue.populate(plans[1])
+
+
+class TestLeases:
+    def test_claims_come_in_shard_index_order(self, queue, plans):
+        first = queue.claim("a", 60.0)
+        second = queue.claim("b", 60.0)
+        assert first == plans[0].shards[0].shard_id
+        assert second == plans[0].shards[1].shard_id
+
+    def test_all_leased_means_no_claim(self, queue):
+        queue.claim("a", 60.0)
+        queue.claim("a", 60.0)
+        assert queue.claim("b", 60.0) is None
+
+    def test_expired_lease_is_reissued(self, queue):
+        shard = queue.claim("dead-executor", 30.0)
+        queue.claim("other", 1000.0)
+        queue.clock_handle.now += 31.0
+        assert queue.claim("survivor", 60.0) == shard
+
+    def test_renew_keeps_a_lease_alive(self, queue):
+        shard = queue.claim("worker", 30.0)
+        queue.clock_handle.now += 25.0
+        queue.renew(shard, "worker", 30.0)
+        queue.clock_handle.now += 25.0  # past the original expiry
+        assert queue.claim("thief", 60.0) != shard
+
+    def test_committed_shard_never_reissued(self, queue):
+        shard = queue.claim("worker", 1.0)
+        for ord_, fp, _spec in queue.shard_units(shard):
+            queue.record(ord_, fp, outcome())
+        queue.commit_shard(shard, "worker")
+        queue.clock_handle.now += 1e6
+        assert queue.claim("late", 60.0) != shard
+
+
+class TestJournal:
+    def test_units_round_trip_their_specs(self, queue, plans):
+        from repro.par import replay_fingerprint
+
+        shard = plans[0].shards[0]
+        units = queue.shard_units(shard.shard_id)
+        assert [u[0] for u in units] == list(shard.unit_ords)
+        for ord_, fp, spec in units:
+            assert spec == plans[0].units[ord_].spec
+            assert replay_fingerprint(spec) == fp
+
+    def test_outcomes_round_trip(self, queue, plans):
+        want = outcome("roundtrip")
+        queue.record(3, plans[0].units[3].fingerprint, want)
+        assert queue.outcomes() == {3: want}
+
+    def test_record_is_idempotent(self, queue, plans):
+        fp = plans[0].units[0].fingerprint
+        queue.record(0, fp, outcome())
+        queue.record(0, fp, outcome())  # lease-race double journal
+        assert queue.progress()["done_units"] == 1
+
+    def test_results_key_on_ordinal_not_fingerprint(self, queue):
+        queue.record(0, "same-fp", outcome("a"))
+        queue.record(1, "same-fp", outcome("b"))
+        assert queue.progress()["done_units"] == 2
+
+    def test_all_done_requires_every_shard_committed(self, queue, plans):
+        assert not queue.all_done()
+        for shard in plans[0].shards:
+            sid = queue.claim("w", 60.0)
+            for ord_, fp, _spec in queue.shard_units(sid):
+                queue.record(ord_, fp, outcome())
+            queue.commit_shard(sid, "w")
+        assert queue.all_done()
+        stats = queue.progress()
+        assert stats["done_units"] == stats["total_units"] == plans[0].n_units
+        assert stats["done_shards"] == stats["total_shards"] == 2
+
+    def test_two_connections_share_the_journal(self, tmp_path, plans):
+        path = queue_path_for(str(tmp_path))
+        with ShardQueue(path) as writer, ShardQueue(path) as reader:
+            writer.populate(plans[0])
+            writer.record(0, plans[0].units[0].fingerprint, outcome())
+            assert reader.has_result(0)
+            assert reader.progress()["done_units"] == 1
