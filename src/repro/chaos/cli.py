@@ -245,7 +245,25 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--lease", type=float, default=60.0, metavar="SECONDS",
         help="shard lease duration; a crashed executor's shard is "
-        "re-issued after this long (default: 60)",
+        "re-issued after this long (default: 60; executors heartbeat "
+        "the lease, so long units are safe)",
+    )
+    parser.add_argument(
+        "--respawn", type=int, default=0, metavar="N",
+        help="total budget of crashed executors the driver supervisor "
+        "may respawn (exponential backoff; default 0 = never — a dead "
+        "executor's shards are only re-issued to survivors)",
+    )
+    parser.add_argument(
+        "--attempts-cap", type=int, default=3, metavar="K",
+        help="quarantine a unit after its shard is re-issued K "
+        "consecutive times with no journal progress (a poison unit "
+        "that kills every executor; default: 3)",
+    )
+    parser.add_argument(
+        "--salvage", action="store_true",
+        help="with --resume: rebuild a corrupt queue from every "
+        "parseable journal row instead of refusing to merge it",
     )
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -315,9 +333,15 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
 
     if args.resume is not None and not args.shards:
         parser.error("--resume requires --shards N (the original shard count)")
+    if args.salvage and args.resume is None:
+        parser.error("--salvage requires --resume DIR (the corrupt queue)")
     if args.shards:
         if args.shards < 1:
             parser.error(f"--shards must be >= 1, got {args.shards}")
+        if args.respawn < 0:
+            parser.error(f"--respawn must be >= 0, got {args.respawn}")
+        if args.attempts_cap < 1:
+            parser.error(f"--attempts-cap must be >= 1, got {args.attempts_cap}")
         if workers != 1:
             parser.error(
                 "--shards and --workers are mutually exclusive: the "
@@ -327,8 +351,13 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
             args.out = args.resume
         import sys
 
-        from repro.shard import ShardCampaignError, run_sharded_campaign
-        from repro.shard.queue import QueueMismatchError
+        from repro.shard import (
+            FaultSpecError,
+            ShardCampaignError,
+            quarantined_ords,
+            run_sharded_campaign,
+        )
+        from repro.shard.queue import QueueCorruptError, QueueMismatchError
 
         scenarios = [_build_scenario(args, m) for m in methods]
         random_cfg = None
@@ -339,7 +368,7 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 mtbf_scale=args.mtbf_scale,
             )
         try:
-            plan, matrices, schedules, _ = run_sharded_campaign(
+            plan, matrices, schedules, stats = run_sharded_campaign(
                 scenarios,
                 n_shards=args.shards,
                 out_dir=args.out,
@@ -350,11 +379,18 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 lease_s=args.lease,
                 cache_dir=args.cache,
                 progress=progress,
+                respawn=args.respawn,
+                attempts_cap=args.attempts_cap,
+                salvage=args.salvage,
+                registry=registry,
             )
         except ShardCampaignError as err:
             print(f"repro chaos: {err}", file=sys.stderr)
             return 3
-        except QueueMismatchError as err:
+        except (QueueMismatchError, QueueCorruptError) as err:
+            print(f"repro chaos: {err}", file=sys.stderr)
+            return 2
+        except FaultSpecError as err:
             print(f"repro chaos: {err}", file=sys.stderr)
             return 2
         shrinks = None
@@ -363,11 +399,35 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
                 scenarios[0], schedules, registry=registry, cache=cache
             )
         _count_campaign(registry, matrices, schedules)
-        return _finish_campaign(
+        status = _finish_campaign(
             args, methods, matrices, schedules, shrinks,
             scenarios, [m.probe for m in plan.matrices], registry,
             f"{args.shards} shard{'s' if args.shards != 1 else ''}",
         )
+        if stats.get("respawns"):
+            print(
+                f"supervisor respawned {stats['respawns']} crashed "
+                f"executor{'s' if stats['respawns'] != 1 else ''}"
+            )
+        if stats.get("fence_rejections"):
+            print(
+                f"fencing rejected {stats['fence_rejections']} stale "
+                "write(s) from superseded executors"
+            )
+        if stats.get("quarantined"):
+            # engine degradation, not a protocol verdict: name the units
+            # so the operator can replay them in isolation
+            from repro.shard.queue import ShardQueue, queue_path_for
+
+            with ShardQueue(queue_path_for(args.out)) as queue:
+                ords = quarantined_ords(queue.outcomes())
+            print(
+                f"WARNING: {stats['quarantined']} unit(s) quarantined after "
+                "repeatedly crashing their executor "
+                f"(plan ordinals: {', '.join(map(str, ords))}); they appear "
+                "as 'gave-up' verdicts with a 'quarantined:' reason"
+            )
+        return status
 
     matrices = []
     schedules = None

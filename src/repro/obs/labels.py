@@ -91,6 +91,14 @@ METRIC_NAMES = frozenset(
         "par.workers",
         "par.worker_tasks",
         "par.queue_depth",
+        # sharded campaign engine health (src/repro/shard): respawns counts
+        # supervisor-replaced crashed executors; quarantined counts poison
+        # units journaled as synthesized gave-up outcomes; fence_rejections
+        # counts journal/commit/renew writes refused because the claimant's
+        # fencing token was superseded (zombie executors)
+        "shard.respawns",
+        "shard.quarantined",
+        "shard.fence_rejections",
     }
 )
 

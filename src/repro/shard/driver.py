@@ -1,22 +1,36 @@
-"""Shard driver: plan → queue → executors → merge, crash-tolerant end to end.
+"""Shard driver: plan → queue → supervised executors → merge.
 
 ``repro chaos --shards N`` lands here.  The driver freezes the campaign
 into a plan, binds (or resumes) the SQLite queue under the ``--out``
-directory, launches N independent executor processes against it, and
-merges the journal into the serial engine's artifacts when every shard
-is done.
+directory, launches N executor processes against it under an
+:class:`~repro.shard.health.ExecutorSupervisor`, and merges the journal
+into the serial engine's artifacts when every shard is done.
 
-Two failure modes, one answer:
+Failure modes, one answer each:
 
 * **an executor dies** — its lease expires and a surviving executor
-  re-claims the shard, skipping the journaled units.  The campaign
-  finishes in the same invocation, no operator action needed.
-* **the driver dies** (or every executor does) — the queue file holds
-  every journaled outcome.  Re-running with ``--resume DIR`` re-plans,
-  verifies the plan fingerprint against the queue, and continues from
-  the journal.  Replays are deterministic, so the resumed campaign's
-  ``BENCH_chaos.json``, ``report.txt`` and store digests are
-  byte-identical to an uninterrupted run.
+  re-claims the shard, skipping the journaled units; with ``--respawn
+  N`` the supervisor also respawns the dead slot under exponential
+  backoff, so the campaign keeps its full width.  The budget spent, the
+  driver degrades to fewer workers; with *nothing* left alive it exits
+  3 with a resume hint.
+* **a unit kills every executor that runs it** — the poison-unit
+  quarantine (``--attempts-cap``) journals it as a synthesized
+  ``gave-up`` outcome after the cap'th barren re-issue; the campaign
+  terminates instead of crash-looping.
+* **the driver dies** — the queue file holds every journaled outcome.
+  Re-running with ``--resume DIR`` re-plans, verifies the plan
+  fingerprint against the queue, and continues from the journal.
+* **the queue file is corrupted** (torn write, disk fault) — resume
+  refuses to merge it (exit 2); ``--salvage`` copies every parseable,
+  fingerprint-matching journal row into a fresh queue and re-runs only
+  what was lost.
+
+Replays are deterministic, so in every recovered case the final
+``BENCH_chaos.json``, ``report.txt`` and store digests are
+byte-identical to an uninterrupted run — except quarantine, which is a
+*documented* degradation: quarantined units surface as ``gave-up``
+verdicts with a ``quarantined:`` provenance reason.
 """
 
 from __future__ import annotations
@@ -30,9 +44,22 @@ from repro.chaos.campaign import CampaignReport
 from repro.chaos.schedules import RandomCampaignConfig, ScheduleResult
 
 from repro.shard.executor import run_executor
+from repro.shard.faults import FaultPlan
+from repro.shard.health import DEFAULT_ATTEMPTS_CAP, ExecutorSupervisor
 from repro.shard.merge import merge_campaign
 from repro.shard.planner import CampaignPlan, plan_campaign
-from repro.shard.queue import ShardQueue, queue_path_for
+from repro.shard.queue import (
+    QueueCorruptError,
+    ShardQueue,
+    integrity_problems,
+    quarantine_queue_file,
+    queue_path_for,
+    salvage_results,
+)
+
+#: progress queries hit the contended SQLite file; throttle them to
+#: about one per second regardless of how fast the liveness poll spins
+PROGRESS_QUERY_EVERY_S = 1.0
 
 
 class ShardCampaignError(RuntimeError):
@@ -40,30 +67,58 @@ class ShardCampaignError(RuntimeError):
     remains resumable."""
 
 
-def _spawn_executors(
+def _executor_spawner(
     ctx: Any,
-    n: int,
     queue_path: str,
     *,
     lease_s: float,
     cache_dir: Optional[str],
     poll_s: float,
-) -> List[Any]:
-    procs = []
-    for i in range(n):
+    attempts_cap: int,
+):
+    def spawn(index: int) -> Any:
         p = ctx.Process(
             target=run_executor,
-            args=(queue_path, i),
+            args=(queue_path, index),
             kwargs={
                 "lease_s": lease_s,
                 "cache_dir": cache_dir,
                 "poll_s": poll_s,
+                "attempts_cap": attempts_cap,
             },
             daemon=False,  # executors must outlive nothing, but be killable
         )
         p.start()
-        procs.append(p)
-    return procs
+        return p
+
+    return spawn
+
+
+def _prepare_queue_file(
+    queue_path: str, plan: CampaignPlan, salvage: bool
+) -> Optional[List[Tuple[int, str, str]]]:
+    """Health-check an existing queue file before reuse.
+
+    Returns salvaged journal rows when ``salvage`` rebuilt a corrupt (or
+    suspect) queue, else None.  Without ``salvage``, a corrupt queue
+    raises :class:`~repro.shard.queue.QueueCorruptError` — merging rows
+    out of a damaged file would risk silently-wrong artifacts.
+    """
+    if not os.path.exists(queue_path):
+        return None
+    if salvage:
+        rows = salvage_results(queue_path, plan)
+        quarantine_queue_file(queue_path)
+        return rows
+    problems = integrity_problems(queue_path)
+    if problems:
+        raise QueueCorruptError(
+            f"queue {queue_path} failed its integrity check "
+            f"({problems[0]}); rerun with --salvage to copy every "
+            "parseable journal row into a fresh queue, or start a fresh "
+            "--out directory"
+        )
+    return None
 
 
 def run_sharded_campaign(
@@ -81,6 +136,11 @@ def run_sharded_campaign(
     poll_s: float = 0.05,
     progress: Any = None,
     mp_context: Optional[str] = None,
+    respawn: int = 0,
+    respawn_backoff_s: float = 0.25,
+    attempts_cap: int = DEFAULT_ATTEMPTS_CAP,
+    salvage: bool = False,
+    registry: Any = None,
 ) -> Tuple[
     CampaignPlan,
     List[CampaignReport],
@@ -92,16 +152,27 @@ def run_sharded_campaign(
     ``scenarios`` is one scenario per method, in method order — the same
     list the serial CLI builds.  The queue lives at
     ``queue_path_for(out_dir)``; when it already exists it is resumed
-    (after the plan-fingerprint check) and only unjournaled units run.
-    ``executors`` defaults to one process per shard, capped at
-    ``n_shards``.  Returns ``(plan, matrices, schedules, stats)`` with
-    ``matrices``/``schedules`` bit-for-bit what the serial engine
-    produces.
+    (after an integrity check and the plan-fingerprint check) and only
+    unjournaled units run.  ``executors`` defaults to one process per
+    shard, capped at ``n_shards``.  ``respawn`` is the total budget of
+    crash respawns the supervisor may spend; ``attempts_cap`` bounds
+    barren re-issues before a poison unit is quarantined; ``salvage``
+    rebuilds a corrupt queue from its parseable journal rows.
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+    receives the ``shard.*`` health counters.  Returns ``(plan,
+    matrices, schedules, stats)`` with ``matrices``/``schedules``
+    bit-for-bit what the serial engine produces and ``stats`` carrying
+    unit/shard progress plus ``respawns``/``quarantined``/
+    ``fence_rejections``.
 
-    Raises :class:`ShardCampaignError` when every executor exits with
-    shards still unfinished (e.g. all were fault-injected away) — the
-    queue keeps the journal, so rerunning with ``--resume`` continues.
+    Raises :class:`ShardCampaignError` when every executor is gone (and
+    the respawn budget spent) with shards still unfinished — the queue
+    keeps the journal, so rerunning with ``--resume`` continues.
     """
+    # validate any armed fault spec *here*, where the error is readable —
+    # otherwise every spawned executor would crash on it at startup and
+    # the campaign would misreport an infra failure as "all workers died"
+    FaultPlan.from_env(0)
     plan = plan_campaign(
         scenarios,
         n_shards=n_shards,
@@ -112,46 +183,79 @@ def run_sharded_campaign(
     )
     os.makedirs(out_dir, exist_ok=True)
     queue_path = queue_path_for(out_dir)
+    salvaged = _prepare_queue_file(queue_path, plan, salvage)
     ctx = multiprocessing.get_context(mp_context)
+    supervisor: Optional[ExecutorSupervisor] = None
     with ShardQueue(queue_path) as queue:
         queue.populate(plan)  # fresh run or fingerprint-checked resume
+        if salvaged:
+            queue.restore_results(salvaged)
         n_exec = executors if executors is not None else len(plan.shards)
         n_exec = max(1, min(n_exec, len(plan.shards)))
         if progress is not None:
             progress.start(plan.n_units, n_exec)
         if not queue.all_done():
-            procs = _spawn_executors(
-                ctx,
+            supervisor = ExecutorSupervisor(
+                _executor_spawner(
+                    ctx,
+                    queue_path,
+                    lease_s=lease_s,
+                    cache_dir=cache_dir,
+                    poll_s=poll_s,
+                    attempts_cap=attempts_cap,
+                ),
                 n_exec,
-                queue_path,
-                lease_s=lease_s,
-                cache_dir=cache_dir,
-                poll_s=poll_s,
+                respawn=respawn,
+                backoff_s=respawn_backoff_s,
             )
-            try:
-                while any(p.is_alive() for p in procs):
-                    if progress is not None:
-                        stats = queue.progress()
-                        progress.update(
-                            stats["done_units"],
-                            stats["total_units"],
-                            0,
-                            sum(1 for p in procs if p.is_alive()),
-                        )
-                    time.sleep(poll_s)
-            finally:
-                for p in procs:
-                    p.join()
+            supervisor.start()
+            last_query = float("-inf")
+            while True:
+                alive = supervisor.poll()
+                if alive == 0 and not supervisor.pending_respawns():
+                    break
+                now = time.monotonic()
+                if (
+                    progress is not None
+                    and now - last_query >= PROGRESS_QUERY_EVERY_S
+                ):
+                    # liveness polls every poll_s; the queue query is
+                    # throttled independently so a tight poll loop does
+                    # not hammer the contended SQLite file
+                    last_query = now
+                    stats = queue.progress()
+                    progress.update(
+                        stats["done_units"], stats["total_units"], 0, alive
+                    )
+                time.sleep(poll_s)
+            supervisor.join()
         stats = queue.progress()
+        stats.update(queue.stats())
+        stats["respawns"] = supervisor.respawns if supervisor else 0
+        stats["executor_crashes"] = supervisor.crashes if supervisor else 0
         if not queue.all_done():
+            exhausted = (
+                " (respawn budget exhausted; raise --respawn N to let the "
+                "supervisor replace crashed executors)"
+                if supervisor is not None and supervisor.exhausted()
+                else ""
+            )
             raise ShardCampaignError(
                 f"campaign incomplete: {stats['done_units']}/"
                 f"{stats['total_units']} units journaled, "
                 f"{stats['done_shards']}/{stats['total_shards']} shards "
-                f"committed — every executor exited; resume with "
+                f"committed — every executor exited{exhausted}; resume with "
                 f"--shards {n_shards} --resume {out_dir}"
             )
         outcomes = queue.outcomes()
+    if registry is not None:
+        for key, metric in (
+            ("respawns", "shard.respawns"),
+            ("quarantined", "shard.quarantined"),
+            ("fence_rejections", "shard.fence_rejections"),
+        ):
+            if stats.get(key):
+                registry.counter(metric).inc(stats[key])
     matrices, schedules = merge_campaign(plan, outcomes)
     if progress is not None:
         progress.finish(stats["done_units"], stats["total_units"], 0, n_exec)

@@ -3,23 +3,42 @@
 An executor needs only the queue path.  It claims a shard, replays every
 unit that isn't journaled yet (so a re-issued shard skips the dead
 executor's finished work), journals each outcome the moment it exists,
-renews its lease between units, and commits the shard when the last unit
-is down.  It keeps claiming until the queue reports every shard done —
-including shards re-issued from *other* executors' expired leases, which
-is what lets a campaign finish even when all but one worker die.
+keeps its lease alive, and commits the shard when the last unit is
+down.  It keeps claiming until the queue reports every shard done —
+including shards re-issued from *other* executors' expired leases,
+which is what lets a campaign finish even when all but one worker die.
+
+Self-healing behaviours layered on the basic loop:
+
+* **fencing** — every claim carries a fencing token
+  (:class:`~repro.shard.queue.Lease`); journal writes and the shard
+  commit present it and are *rejected* when the token was superseded.
+  A zombie executor (stalled past its lease, then revived) therefore
+  abandons the shard at the first rejected write instead of corrupting
+  the re-issued claimant's work.
+* **lease heartbeat** — a :class:`~repro.shard.health.LeaseHeartbeat`
+  thread renews the lease every quarter-lease, so one unit running
+  longer than ``lease_s`` is not re-issued mid-flight.
+* **poison-unit quarantine** — a shard re-issued ``attempts_cap`` times
+  without journal progress has its first unjournaled unit journaled as
+  a synthesized ``gave-up`` outcome
+  (:func:`~repro.shard.health.quarantine_outcome`) instead of being run
+  again: one pathological replay can no longer crash-loop the campaign.
+* **transient-failure retry** — every queue operation is wrapped in
+  :func:`~repro.shard.health.retry_transient`, absorbing ``database is
+  locked``-class ``sqlite3.OperationalError`` with jittered backoff.
 
 Crash folding matches the serial engine exactly: a replay that raises
 becomes a ``gave-up`` :func:`~repro.par.replay.crash_outcome` journal
 row, never a lost campaign.
 
-Fault injection for the crash/resume tests lives here too: set
-``REPRO_SHARD_DIE_AFTER=K`` and the executor whose index matches
-``REPRO_SHARD_DIE_WORKER`` (default 0; ``all`` for every executor)
+Fault injection for the torture harness lives in
+:mod:`repro.shard.faults`: the declarative ``REPRO_SHARD_FAULTS`` spec
+(SIGKILL-grade deaths, zombie stalls, poison units, injected
+``OperationalError``, clock skew) plus the legacy
+``REPRO_SHARD_DIE_AFTER``/``REPRO_SHARD_DIE_WORKER`` pair, which still
 hard-exits (``os._exit``) after journaling K units — a real
 SIGKILL-grade death: no commit, lease left dangling, WAL mid-flight.
-Killing worker 0 exercises the lease re-issue path (survivors finish
-the campaign); killing ``all`` leaves a partial journal the next
-invocation resumes, deterministically reproducing a dead driver.
 """
 
 from __future__ import annotations
@@ -31,25 +50,20 @@ from typing import Optional
 from repro.par.cache import MemoCache
 from repro.par.replay import ReplayOutcome, ReplaySpec, crash_outcome, replay
 
-from repro.shard.queue import ShardQueue
-
-#: env hooks for the kill-an-executor tests and the CI smoke job
-DIE_AFTER_ENV = "REPRO_SHARD_DIE_AFTER"
-DIE_WORKER_ENV = "REPRO_SHARD_DIE_WORKER"
-
-#: ``os._exit`` code of a fault-injected death, so tests can tell a
-#: simulated crash from a real one
-DIE_EXIT_CODE = 86
-
-
-def _die_after(worker_index: int) -> Optional[int]:
-    raw = os.environ.get(DIE_AFTER_ENV)
-    if raw is None:
-        return None
-    victim = os.environ.get(DIE_WORKER_ENV, "0")
-    if victim != "all" and worker_index != int(victim):
-        return None
-    return int(raw)
+from repro.shard.faults import (  # noqa: F401  (re-exported: test/CI surface)
+    DIE_AFTER_ENV,
+    DIE_EXIT_CODE,
+    DIE_WORKER_ENV,
+    POISON_EXIT_CODE,
+    FaultPlan,
+)
+from repro.shard.health import (
+    DEFAULT_ATTEMPTS_CAP,
+    LeaseHeartbeat,
+    quarantine_outcome,
+    retry_transient,
+)
+from repro.shard.queue import Lease, ShardQueue
 
 
 def _run_unit(spec: ReplaySpec, cache: Optional[MemoCache], key: str) -> ReplayOutcome:
@@ -74,35 +88,117 @@ def run_executor(
     cache_dir: Optional[str] = None,
     poll_s: float = 0.05,
     owner: Optional[str] = None,
+    attempts_cap: int = DEFAULT_ATTEMPTS_CAP,
+    heartbeat: bool = True,
 ) -> int:
     """Drain the queue at ``queue_path``; returns units this worker ran.
 
     Spawned by the driver as an independent process, but also callable
     inline (the tests drive single executors through crash/resume
     scenarios this way).  ``owner`` defaults to a per-process identity
-    so lease rows name their claimant.
+    so lease rows name their claimant.  ``attempts_cap`` bounds how
+    often a barren shard is re-issued before its first unjournaled unit
+    is quarantined; ``heartbeat=False`` disables the renewal thread
+    (inline tests that want deterministic lease expiry).
     """
     if owner is None:
         owner = f"exec{worker_index}.pid{os.getpid()}"
-    die_after = _die_after(worker_index)
+    faults = FaultPlan.from_env(worker_index)
+    if faults.clock_offset_s:
+        offset = faults.clock_offset_s
+        clock = lambda: time.time() + offset  # noqa: E731
+    else:
+        clock = time.time
     cache = MemoCache(cache_dir) if cache_dir else None
     executed = 0
-    with ShardQueue(queue_path) as queue:
-        while not queue.all_done():
-            shard_id = queue.claim(owner, lease_s)
-            if shard_id is None:
+
+    def _q(fn):
+        return retry_transient(fn, seed=owner)
+
+    with ShardQueue(
+        queue_path, clock=clock, fault_hook=faults.queue_hook
+    ) as queue:
+        while not _q(queue.all_done):
+            lease = _q(lambda: queue.claim(owner, lease_s))
+            if lease is None:
                 # every remaining shard is live-leased elsewhere; linger
                 # in case one of those leases expires
                 time.sleep(poll_s)
                 continue
-            for ord_, fingerprint, spec in queue.shard_units(shard_id):
-                if queue.has_result(ord_):
-                    continue  # journaled by a previous (dead) claimant
-                outcome = _run_unit(spec, cache, fingerprint)
-                queue.record(ord_, fingerprint, outcome)
-                queue.renew(shard_id, owner, lease_s)
-                executed += 1
-                if die_after is not None and executed >= die_after:
-                    os._exit(DIE_EXIT_CODE)  # simulated executor crash
-            queue.commit_shard(shard_id, owner)
+            executed += _drain_shard(
+                queue, queue_path, lease, lease_s,
+                cache=cache, faults=faults, attempts_cap=attempts_cap,
+                heartbeat=heartbeat, executed_before=executed, owner=owner,
+            )
     return executed
+
+
+def _drain_shard(
+    queue: ShardQueue,
+    queue_path: str,
+    lease: Lease,
+    lease_s: float,
+    *,
+    cache: Optional[MemoCache],
+    faults: FaultPlan,
+    attempts_cap: int,
+    heartbeat: bool,
+    executed_before: int,
+    owner: str,
+) -> int:
+    """Run one claimed shard to its commit (or abandon it when fenced
+    out); returns the number of units this call replayed."""
+
+    def _q(fn):
+        return retry_transient(fn, seed=owner)
+
+    ran = 0
+    hb = (
+        LeaseHeartbeat(queue_path, lease, lease_s, clock=queue.clock).start()
+        if heartbeat
+        else None
+    )
+    try:
+        if attempts_cap > 0 and lease.attempts >= attempts_cap:
+            victim = _q(lambda: queue.first_unjournaled(lease.shard_id))
+            if victim is not None:
+                ord_, fingerprint = victim
+                outcome = quarantine_outcome(
+                    lease.shard_id, ord_, lease.attempts, attempts_cap
+                )
+                if not _q(
+                    lambda: queue.record_quarantine(
+                        ord_, fingerprint, outcome, lease
+                    )
+                ):
+                    return ran  # fenced out — someone else owns the shard
+        for ord_, fingerprint, spec in _q(
+            lambda: queue.shard_units(lease.shard_id)
+        ):
+            if hb is not None and hb.lost:
+                return ran  # lease was re-issued; stop touching the shard
+            if _q(lambda: queue.has_result(ord_)):
+                continue  # journaled by a previous (dead) claimant
+            faults.check_poison(ord_)
+            outcome = _run_unit(spec, cache, fingerprint)
+            if not _q(lambda: queue.record(ord_, fingerprint, outcome, lease)):
+                return ran  # zombie write rejected: abandon the shard
+            ran += 1
+            faults.check_kill(executed_before + ran)
+            stall = faults.zombie_stall(executed_before + ran)
+            if stall is not None:
+                # a real SIGSTOP freezes the heartbeat thread with the
+                # process, so the simulated zombie suspends it too: the
+                # lease expires mid-stall, the shard is re-issued, and
+                # every write after revival must be fence-rejected
+                if hb is not None:
+                    hb.stop()
+                    hb = None
+                faults.sleep(stall)
+            if hb is None and not _q(lambda: queue.renew(lease, lease_s)):
+                return ran
+        _q(lambda: queue.commit_shard(lease))
+    finally:
+        if hb is not None:
+            hb.stop()
+    return ran

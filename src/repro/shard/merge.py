@@ -33,6 +33,16 @@ def missing_ords(plan: CampaignPlan, outcomes: Dict[int, ReplayOutcome]) -> List
     return [u.ord for u in plan.units if u.ord not in outcomes]
 
 
+def quarantined_ords(outcomes: Dict[int, ReplayOutcome]) -> List[int]:
+    """Plan ordinals whose journal row is a synthesized poison-unit
+    quarantine (see :func:`repro.shard.health.quarantine_outcome`) —
+    the merge surfaces these explicitly: they are engine-degradation
+    verdicts, not protocol verdicts."""
+    from repro.shard.health import is_quarantined
+
+    return sorted(o for o, out in outcomes.items() if is_quarantined(out))
+
+
 def merge_campaign(
     plan: CampaignPlan, outcomes: Dict[int, ReplayOutcome]
 ) -> Tuple[List[CampaignReport], Optional[List[ScheduleResult]]]:

@@ -1,4 +1,4 @@
-"""The SQLite work queue: claim → run → commit, with lease timeouts.
+"""The SQLite work queue: claim → run → commit, with leases and fencing.
 
 One file (``shards.sqlite`` under the campaign's ``--out`` directory)
 holds the whole campaign's durable state: the plan identity, every
@@ -11,13 +11,28 @@ application:
 * **claim** — an executor atomically takes the first shard that is
   ``pending`` *or* whose lease expired (its executor died); the lease is
   stamped with an expiry so a crashed claimant's work is re-issued.
+  Every claim also draws a **fencing token** from a monotonically
+  increasing sequence: the token identifies *this* grant of the shard,
+  so a stalled-then-revived zombie executor holding a superseded token
+  can be told apart from the live claimant.
 * **run** — each finished unit is journaled immediately (``INSERT OR
   REPLACE`` keyed by the unit's plan ordinal), so a shard that dies
   mid-flight loses at most the unit in progress.  Replays are
   deterministic, so a lease race double-running a unit writes the
-  identical row — idempotence by content, not by locking.
+  identical row — idempotence by content, not by locking.  A journal
+  write presented with a stale fencing token is *rejected* (counted in
+  ``stats()["fence_rejections"]``), so a zombie can never resurrect a
+  lease it lost.
 * **commit** — the shard flips to ``done`` only when every unit is
-  journaled; the driver's merge barrier waits on all shards being done.
+  journaled, and only for the claimant whose token is still current;
+  the driver's merge barrier waits on all shards being done.
+
+The claim path also reads the shard's previously unread ``attempts``
+column, redefined as **consecutive re-issues without journal progress**:
+a shard re-claimed from an expired lease with no new journaled units
+since the previous claim increments it, any progress (or a fresh claim)
+resets it.  The executor quarantines the first unjournaled unit once
+``attempts`` reaches its cap — the poison-unit circuit breaker.
 
 The queue never parses outcomes: it stores the canonical JSON of
 :class:`~repro.par.replay.ReplayOutcome` and hands it back verbatim.
@@ -30,6 +45,7 @@ import os
 import pickle
 import sqlite3
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.par.replay import ReplayOutcome
@@ -37,12 +53,15 @@ from repro.par.replay import ReplayOutcome
 from repro.shard.planner import CampaignPlan
 
 #: bump when the table layout changes incompatibly
-QUEUE_SCHEMA_VERSION = 1
+QUEUE_SCHEMA_VERSION = 2
 
 #: shard states
 PENDING = "pending"
 LEASED = "leased"
 DONE = "done"
+
+#: durable counters kept in the ``meta`` table (``stats()`` keys)
+STAT_KEYS = ("fence_rejections", "quarantined")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -50,13 +69,15 @@ CREATE TABLE IF NOT EXISTS meta (
     value TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS shards (
-    shard_id      TEXT PRIMARY KEY,
-    idx           INTEGER NOT NULL,
-    n_units       INTEGER NOT NULL,
-    status        TEXT NOT NULL,
-    owner         TEXT,
-    lease_expires REAL,
-    attempts      INTEGER NOT NULL DEFAULT 0
+    shard_id       TEXT PRIMARY KEY,
+    idx            INTEGER NOT NULL,
+    n_units        INTEGER NOT NULL,
+    status         TEXT NOT NULL,
+    owner          TEXT,
+    lease_expires  REAL,
+    fence          INTEGER NOT NULL DEFAULT 0,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    last_journaled INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS units (
     ord         INTEGER PRIMARY KEY,
@@ -77,14 +98,45 @@ class QueueMismatchError(RuntimeError):
     changed since it was created); resuming it would merge stale rows."""
 
 
+class QueueCorruptError(RuntimeError):
+    """An existing queue file failed ``PRAGMA integrity_check`` (torn
+    write, disk fault); resume with ``--salvage`` to recover every
+    parseable journal row into a fresh queue."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One grant of a shard to one executor.
+
+    ``fence`` is the monotonically increasing fencing token drawn at
+    claim time; every journal/commit/renew presents it, and the queue
+    rejects writes whose token is no longer the shard's current one.
+    ``attempts`` counts consecutive re-issues of the shard without
+    journal progress — the poison-unit quarantine signal.
+    """
+
+    shard_id: str
+    owner: str
+    fence: int
+    attempts: int
+
+
 class ShardQueue:
     """Crash-tolerant campaign work queue over one SQLite file."""
 
     def __init__(
-        self, path: str, *, clock: Callable[[], float] = time.time
+        self,
+        path: str,
+        *,
+        clock: Callable[[], float] = time.time,
+        fault_hook: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.path = path
         self.clock = clock
+        #: chaos hook called at the top of every mutating operation with
+        #: the operation name; the torture harness raises injected
+        #: ``sqlite3.OperationalError`` from here (see repro.shard.faults)
+        self._fault_hook = fault_hook
         # autocommit + explicit BEGIN IMMEDIATE where multi-statement
         # atomicity is needed: sqlite3's implicit transaction management
         # and hand-rolled BEGINs do not mix
@@ -106,6 +158,10 @@ class ShardQueue:
 
     def _txn(self) -> "_Transaction":
         return _Transaction(self._conn)
+
+    def _fault(self, op: str) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(op)
 
     # -- meta / population -------------------------------------------------------
     def _meta(self, key: str) -> Optional[str]:
@@ -171,39 +227,95 @@ class ShardQueue:
         return True
 
     # -- executor protocol -------------------------------------------------------
-    def claim(self, owner: str, lease_s: float) -> Optional[str]:
+    def claim(self, owner: str, lease_s: float) -> Optional[Lease]:
         """Atomically claim the first runnable shard, or None.
 
         Runnable means ``pending``, or ``leased`` with an expired lease —
-        the crashed-executor re-issue path.  The claim stamps ``owner``
-        and a fresh expiry in the same transaction that reads the row, so
-        two executors never hold the same live lease.
+        the crashed-executor re-issue path.  The claim stamps ``owner``,
+        a fresh expiry and a new fencing token in the same transaction
+        that reads the row, so two executors never hold the same live
+        grant and a superseded claimant's token stops working the moment
+        the shard is re-issued.
         """
+        self._fault("claim")
         now = self.clock()
         with self._txn():
             row = self._conn.execute(
-                "SELECT shard_id FROM shards WHERE status = ? OR "
+                "SELECT shard_id, status, attempts, last_journaled "
+                "FROM shards WHERE status = ? OR "
                 "(status = ? AND lease_expires < ?) ORDER BY idx LIMIT 1",
                 (PENDING, LEASED, now),
             ).fetchone()
             if row is None:
                 return None
-            shard_id = str(row[0])
+            shard_id, status = str(row[0]), str(row[1])
+            prev_attempts, last_journaled = int(row[2]), int(row[3])
+            journaled = int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM results WHERE ord IN "
+                    "(SELECT ord FROM units WHERE shard_id = ?)",
+                    (shard_id,),
+                ).fetchone()[0]
+            )
+            if status == LEASED and journaled == last_journaled:
+                # a re-issue that made no progress: the signature of a
+                # unit that takes its executor down with it
+                attempts = prev_attempts + 1
+            else:
+                attempts = 0
+            fence = int(self._meta("fence_seq") or 0) + 1
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("fence_seq", str(fence)),
+            )
             self._conn.execute(
                 "UPDATE shards SET status = ?, owner = ?, lease_expires = ?, "
-                "attempts = attempts + 1 WHERE shard_id = ?",
-                (LEASED, owner, now + lease_s, shard_id),
+                "fence = ?, attempts = ?, last_journaled = ? "
+                "WHERE shard_id = ?",
+                (LEASED, owner, now + lease_s, fence, attempts, journaled,
+                 shard_id),
             )
-        return shard_id
+        return Lease(
+            shard_id=shard_id, owner=owner, fence=fence, attempts=attempts
+        )
 
-    def renew(self, shard_id: str, owner: str, lease_s: float) -> None:
-        """Extend a live lease (called after every journaled unit)."""
+    def _lease_current(self, lease: Lease) -> bool:
+        """Inside a transaction: is this grant still the shard's live one?"""
+        row = self._conn.execute(
+            "SELECT owner, fence, status FROM shards WHERE shard_id = ?",
+            (lease.shard_id,),
+        ).fetchone()
+        return (
+            row is not None
+            and row[0] == lease.owner
+            and int(row[1]) == lease.fence
+            and str(row[2]) == LEASED
+        )
+
+    def _bump_stat(self, key: str, n: int = 1) -> None:
+        """Inside a transaction: increment a durable counter in ``meta``."""
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET "
+            "value = CAST(CAST(value AS INTEGER) + ? AS TEXT)",
+            (f"stat.{key}", str(n), n),
+        )
+
+    def renew(self, lease: Lease, lease_s: float) -> bool:
+        """Extend a live grant; False (and a fence-rejection count) when
+        the token was superseded — the caller lost the shard."""
+        self._fault("renew")
         with self._txn():
-            self._conn.execute(
-                "UPDATE shards SET lease_expires = ? "
-                "WHERE shard_id = ? AND owner = ? AND status = ?",
-                (self.clock() + lease_s, shard_id, owner, LEASED),
+            cur = self._conn.execute(
+                "UPDATE shards SET lease_expires = ? WHERE shard_id = ? "
+                "AND owner = ? AND fence = ? AND status = ?",
+                (self.clock() + lease_s, lease.shard_id, lease.owner,
+                 lease.fence, LEASED),
             )
+            if cur.rowcount != 1:
+                self._bump_stat("fence_rejections")
+                return False
+        return True
 
     def shard_units(self, shard_id: str) -> List[Tuple[int, str, Any]]:
         """(ord, fingerprint, ReplaySpec) of the shard's units, in plan
@@ -218,6 +330,17 @@ class ShardQueue:
             )
         ]
 
+    def first_unjournaled(self, shard_id: str) -> Optional[Tuple[int, str]]:
+        """(ord, fingerprint) of the shard's first unit with no journaled
+        outcome — on a crash-looping shard, the unit that keeps killing
+        its claimant (everything before it was journaled; it never is)."""
+        row = self._conn.execute(
+            "SELECT ord, fingerprint FROM units WHERE shard_id = ? AND ord "
+            "NOT IN (SELECT ord FROM results) ORDER BY ord LIMIT 1",
+            (shard_id,),
+        ).fetchone()
+        return None if row is None else (int(row[0]), str(row[1]))
+
     def has_result(self, ord: int) -> bool:
         return (
             self._conn.execute(
@@ -226,9 +349,26 @@ class ShardQueue:
             is not None
         )
 
-    def record(self, ord: int, fingerprint: str, outcome: ReplayOutcome) -> None:
-        """Journal one unit outcome — durable the moment this returns."""
+    def record(
+        self,
+        ord: int,
+        fingerprint: str,
+        outcome: ReplayOutcome,
+        lease: Optional[Lease] = None,
+    ) -> bool:
+        """Journal one unit outcome — durable the moment this returns True.
+
+        With a ``lease``, the write is fenced: a superseded token is
+        rejected (False + a ``fence_rejections`` count) in the same
+        transaction that would have written, so a zombie's journal row
+        never lands after the shard was re-issued.  ``lease=None``
+        bypasses fencing for trusted writers (salvage, tests).
+        """
+        self._fault("record")
         with self._txn():
+            if lease is not None and not self._lease_current(lease):
+                self._bump_stat("fence_rejections")
+                return False
             self._conn.execute(
                 "INSERT OR REPLACE INTO results (ord, fingerprint, "
                 "outcome_json) VALUES (?,?,?)",
@@ -238,15 +378,51 @@ class ShardQueue:
                     json.dumps(outcome.to_json(), sort_keys=True),
                 ),
             )
+        return True
 
-    def commit_shard(self, shard_id: str, owner: str) -> None:
-        """Flip a fully-journaled shard to ``done``."""
+    def record_quarantine(
+        self, ord: int, fingerprint: str, outcome: ReplayOutcome, lease: Lease
+    ) -> bool:
+        """Journal a synthesized quarantine outcome (fenced) and count it."""
+        self._fault("record")
         with self._txn():
+            if not self._lease_current(lease):
+                self._bump_stat("fence_rejections")
+                return False
             self._conn.execute(
-                "UPDATE shards SET status = ?, owner = ?, lease_expires = "
-                "NULL WHERE shard_id = ?",
-                (DONE, owner, shard_id),
+                "INSERT OR REPLACE INTO results (ord, fingerprint, "
+                "outcome_json) VALUES (?,?,?)",
+                (ord, fingerprint,
+                 json.dumps(outcome.to_json(), sort_keys=True)),
             )
+            self._bump_stat("quarantined")
+            # quarantining IS progress: reset the barren-re-issue counter
+            # so a second poison unit in the shard gets its own budget
+            self._conn.execute(
+                "UPDATE shards SET attempts = 0, last_journaled = "
+                "(SELECT COUNT(*) FROM results WHERE ord IN "
+                " (SELECT ord FROM units WHERE shard_id = ?)) "
+                "WHERE shard_id = ?",
+                (lease.shard_id, lease.shard_id),
+            )
+        return True
+
+    def commit_shard(self, lease: Lease) -> bool:
+        """Flip a fully-journaled shard to ``done`` — fenced: only the
+        grant whose token is still current may commit, so a zombie that
+        stalled past its lease cannot commit a shard it no longer owns."""
+        self._fault("commit")
+        with self._txn():
+            cur = self._conn.execute(
+                "UPDATE shards SET status = ?, lease_expires = NULL "
+                "WHERE shard_id = ? AND owner = ? AND fence = ? "
+                "AND status = ?",
+                (DONE, lease.shard_id, lease.owner, lease.fence, LEASED),
+            )
+            if cur.rowcount != 1:
+                self._bump_stat("fence_rejections")
+                return False
+        return True
 
     # -- driver / merge reads ----------------------------------------------------
     def all_done(self) -> bool:
@@ -277,6 +453,12 @@ class ShardQueue:
             "total_shards": total_shards,
         }
 
+    def stats(self) -> Dict[str, int]:
+        """Durable health counters (fence rejections, quarantined units)."""
+        return {
+            key: int(self._meta(f"stat.{key}") or 0) for key in STAT_KEYS
+        }
+
     def outcomes(self) -> Dict[int, ReplayOutcome]:
         """Every journaled outcome, keyed by plan ordinal."""
         out: Dict[int, ReplayOutcome] = {}
@@ -285,6 +467,17 @@ class ShardQueue:
         ):
             out[int(ord_)] = ReplayOutcome.from_json(json.loads(doc))
         return out
+
+    def restore_results(self, rows: List[Tuple[int, str, str]]) -> int:
+        """Re-insert salvaged ``(ord, fingerprint, outcome_json)`` rows
+        (already validated against the plan by :func:`salvage_results`)."""
+        with self._txn():
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results (ord, fingerprint, "
+                "outcome_json) VALUES (?,?,?)",
+                rows,
+            )
+        return len(rows)
 
 
 class _Transaction:
@@ -309,3 +502,68 @@ class _Transaction:
 def queue_path_for(out_dir: str) -> str:
     """Where a campaign's work queue lives relative to its ``--out``."""
     return os.path.join(out_dir, "shards.sqlite")
+
+
+# -- corruption recovery ---------------------------------------------------------
+def integrity_problems(path: str) -> List[str]:
+    """``PRAGMA integrity_check`` findings for a queue file ([] = healthy).
+
+    A file sqlite refuses to open at all reports that refusal as its one
+    problem — the caller treats any non-empty list the same way.
+    """
+    try:
+        conn = sqlite3.connect(path, timeout=60.0)
+        try:
+            rows = conn.execute("PRAGMA integrity_check").fetchall()
+            msgs = [str(r[0]) for r in rows]
+        finally:
+            conn.close()
+    except sqlite3.DatabaseError as exc:
+        return [f"unreadable queue: {exc}"]
+    return [] if msgs == ["ok"] else msgs
+
+
+def salvage_results(path: str, plan: CampaignPlan) -> List[Tuple[int, str, str]]:
+    """Best-effort extraction of journal rows from a (possibly corrupt)
+    queue: every ``results`` row that still parses, carries a valid
+    outcome document, and matches the plan's fingerprint for its ordinal.
+    Rows the corruption ate are simply re-run after the salvage."""
+    want = {u.ord: u.fingerprint for u in plan.units}
+    rows: List[Tuple[int, str, str]] = []
+    try:
+        conn = sqlite3.connect(path, timeout=60.0)
+    except sqlite3.DatabaseError:
+        return rows
+    try:
+        cur = conn.execute(
+            "SELECT ord, fingerprint, outcome_json FROM results ORDER BY ord"
+        )
+        while True:
+            row = cur.fetchone()
+            if row is None:
+                break
+            ord_, fingerprint, doc = int(row[0]), str(row[1]), str(row[2])
+            if want.get(ord_) != fingerprint:
+                continue  # stale plan or torn row — never merge it
+            try:
+                ReplayOutcome.from_json(json.loads(doc))
+            except Exception:
+                continue
+            rows.append((ord_, fingerprint, doc))
+    except sqlite3.DatabaseError:
+        pass  # keep whatever was readable before the corruption
+    finally:
+        conn.close()
+    return rows
+
+
+def quarantine_queue_file(path: str) -> str:
+    """Move a corrupt queue aside (``<path>.corrupt``) with its WAL/SHM
+    companions, clearing the way for a freshly salvaged queue."""
+    target = path + ".corrupt"
+    os.replace(path, target)
+    for suffix in ("-wal", "-shm"):
+        side = path + suffix
+        if os.path.exists(side):
+            os.replace(side, target + suffix)
+    return target

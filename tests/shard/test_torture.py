@@ -1,0 +1,315 @@
+"""The infra-chaos torture suite: every fault class in
+``REPRO_SHARD_FAULTS`` driven end-to-end through the sharded campaign
+engine, with artifacts compared against an uninterrupted serial run.
+
+The acceptance bar (docs/CHAOS.md): under kill / zombie / busy / skew
+faults the final artifacts are byte-identical to serial; poison-unit
+quarantine is the one *documented* degradation (a synthesized
+``gave-up`` row), and it must terminate the campaign within the
+attempts cap instead of crash-looping.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.chaos import (
+    probe_baseline,
+    run_kill_matrix,
+    selfckpt_scenario,
+)
+from repro.chaos import bench as chaos_bench
+from repro.chaos.report import render_campaign
+from repro.shard import (
+    QueueCorruptError,
+    ShardCampaignError,
+    plan_campaign,
+    quarantined_ords,
+    run_sharded_campaign,
+)
+from repro.shard.faults import FAULTS_ENV, POISON_EXIT_CODE
+from repro.shard.health import is_quarantined
+from repro.shard.queue import ShardQueue, queue_path_for
+
+SEED = 11
+CFG = dict(
+    n_nodes=2, procs_per_node=1, group_size=2, iters=4, ckpt_every=2
+)
+
+
+def scenarios():
+    return [selfckpt_scenario(method="self", **CFG)]
+
+
+def _bench_bytes(matrices):
+    return chaos_bench.bench_json(
+        chaos_bench.bench_record(matrices, None, None, seed=SEED)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial():
+    sc = scenarios()[0]
+    return [run_kill_matrix(sc, probe=probe_baseline(sc), max_occurrences=1)]
+
+
+@pytest.fixture(scope="module")
+def the_plan():
+    """The same plan the driver will freeze — used to pick poison ords."""
+    return plan_campaign(
+        scenarios(), n_shards=2, seed=SEED, max_occurrences=1
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_stray_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+
+
+def run_sharded(out_dir, **kw):
+    kw.setdefault("n_shards", 2)
+    kw.setdefault("seed", SEED)
+    kw.setdefault("max_occurrences", 1)
+    kw.setdefault("lease_s", 0.5)
+    kw.setdefault("respawn_backoff_s", 0.01)
+    return run_sharded_campaign(scenarios(), out_dir=str(out_dir), **kw)
+
+
+def assert_matches_serial(serial, matrices):
+    assert _bench_bytes(matrices) == _bench_bytes(serial)
+    assert render_campaign(matrices, None) == render_campaign(serial, None)
+
+
+class TestKillFaults:
+    def test_kill_heals_by_reissue_to_survivors(
+        self, serial, tmp_path, monkeypatch
+    ):
+        """Executor 0 SIGKILLs itself after one unit; with no respawn
+        budget the survivors absorb its shards via lease expiry."""
+        monkeypatch.setenv(FAULTS_ENV, "kill:after=1,worker=0")
+        plan, matrices, _, stats = run_sharded(tmp_path / "out")
+        assert stats["done_units"] == plan.n_units
+        assert stats["executor_crashes"] >= 1
+        assert stats["respawns"] == 0
+        assert_matches_serial(serial, matrices)
+
+    def test_respawn_budget_restores_width(
+        self, serial, tmp_path, monkeypatch, the_plan
+    ):
+        """Every executor dies after two units, every time — only the
+        supervisor's respawns keep the campaign moving."""
+        monkeypatch.setenv(FAULTS_ENV, "kill:after=2,worker=all")
+        budget = the_plan.n_units  # generous: ~one respawn per 2 units
+        plan, matrices, _, stats = run_sharded(
+            tmp_path / "out", respawn=budget
+        )
+        assert stats["done_units"] == plan.n_units
+        assert stats["respawns"] >= 1
+        assert_matches_serial(serial, matrices)
+
+    def test_exhausted_budget_names_the_remedy(
+        self, serial, tmp_path, monkeypatch
+    ):
+        """Budget too small: the campaign aborts resumably and the error
+        says both how to resume and how to raise the budget."""
+        out = tmp_path / "out"
+        monkeypatch.setenv(FAULTS_ENV, "kill:after=1,worker=all")
+        with pytest.raises(
+            ShardCampaignError, match="respawn budget exhausted"
+        ) as exc:
+            run_sharded(out, respawn=1)
+        assert "--resume" in str(exc.value)
+        monkeypatch.delenv(FAULTS_ENV)
+        plan, matrices, _, stats = run_sharded(out)
+        assert stats["done_units"] == plan.n_units
+        assert_matches_serial(serial, matrices)
+
+
+class TestZombieFault:
+    def test_zombie_writes_fenced_artifacts_identical(
+        self, serial, tmp_path, monkeypatch
+    ):
+        """Executor 0 stalls past its lease (heartbeat frozen, as under
+        SIGSTOP), the shard is re-issued, the zombie revives and keeps
+        writing — every write is rejected and the artifacts stay
+        byte-identical."""
+        monkeypatch.setenv(FAULTS_ENV, "zombie:after=1,worker=0,stall=2.5")
+        plan, matrices, _, stats = run_sharded(tmp_path / "out")
+        assert stats["done_units"] == plan.n_units
+        assert stats["fence_rejections"] >= 1
+        assert_matches_serial(serial, matrices)
+
+
+class TestPoisonFault:
+    def test_poison_unit_quarantined_within_cap(
+        self, serial, tmp_path, monkeypatch, the_plan
+    ):
+        """A unit that kills *every* executor that runs it is journaled
+        as a synthesized gave-up after at most attempts_cap barren
+        re-issues — the campaign terminates instead of crash-looping."""
+        victim = the_plan.n_units // 2
+        cap = 2
+        monkeypatch.setenv(FAULTS_ENV, f"poison:ord={victim},worker=all")
+        out = tmp_path / "out"
+        plan, matrices, _, stats = run_sharded(
+            out, respawn=10, attempts_cap=cap
+        )
+        assert stats["done_units"] == plan.n_units
+        assert stats["quarantined"] == 1
+        # ≤ cap barren re-issues (+1 first run that made progress)
+        assert stats["executor_crashes"] <= cap + 1
+        with ShardQueue(queue_path_for(str(out))) as queue:
+            outcomes = queue.outcomes()
+        assert quarantined_ords(outcomes) == [victim]
+        assert is_quarantined(outcomes[victim])
+        assert outcomes[victim].verdict == "gave-up"
+        # documented degradation: exactly the poisoned cell diverges
+        assert _bench_bytes(matrices) != _bench_bytes(serial)
+        clean = {
+            ord_: out_
+            for ord_, out_ in outcomes.items()
+            if ord_ != victim
+        }
+        assert len(clean) == plan.n_units - 1
+
+    def test_resume_requarantines_to_the_identical_row(
+        self, tmp_path, monkeypatch, the_plan
+    ):
+        """Quarantine provenance is deterministic: killing the campaign
+        after a quarantine and resuming keeps the identical journal row
+        (no pids, no wallclock in the synthesized outcome)."""
+        victim = the_plan.n_units // 2
+        monkeypatch.setenv(FAULTS_ENV, f"poison:ord={victim},worker=all")
+        out = tmp_path / "out"
+        run_sharded(out, respawn=10, attempts_cap=2)
+        with ShardQueue(queue_path_for(str(out))) as queue:
+            first = queue.outcomes()[victim]
+        monkeypatch.delenv(FAULTS_ENV)
+        _, matrices, _, stats = run_sharded(out)  # resume: all journaled
+        with ShardQueue(queue_path_for(str(out))) as queue:
+            assert queue.outcomes()[victim] == first
+
+
+class TestBusyFault:
+    def test_injected_operational_errors_are_absorbed(
+        self, serial, tmp_path, monkeypatch
+    ):
+        """The first queue ops of every executor raise ``database is
+        locked``; jittered retry absorbs them all and the campaign never
+        notices."""
+        monkeypatch.setenv(FAULTS_ENV, "busy:ops=4,worker=all")
+        plan, matrices, _, stats = run_sharded(tmp_path / "out")
+        assert stats["done_units"] == plan.n_units
+        assert stats["executor_crashes"] == 0
+        assert_matches_serial(serial, matrices)
+
+
+class TestSkewFault:
+    def test_skewed_executor_clock_is_harmless(
+        self, serial, tmp_path, monkeypatch
+    ):
+        """Executor 0's queue clock runs 30s behind; lease arithmetic
+        under the wrong clock must not lose or duplicate work."""
+        monkeypatch.setenv(FAULTS_ENV, "skew:delta=-30,worker=0")
+        plan, matrices, _, stats = run_sharded(
+            tmp_path / "out", lease_s=60.0
+        )
+        assert stats["done_units"] == plan.n_units
+        assert_matches_serial(serial, matrices)
+
+
+class TestSalvage:
+    def _partial_then_corrupt(self, out, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "kill:after=1,worker=all")
+        with pytest.raises(ShardCampaignError):
+            run_sharded(out)
+        monkeypatch.delenv(FAULTS_ENV)
+        path = queue_path_for(str(out))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.seek(max(1024, size // 3))
+            f.write(b"\xde\xad\xbe\xef" * 1024)
+        return path
+
+    def test_corrupt_queue_refused_without_salvage(
+        self, tmp_path, monkeypatch
+    ):
+        out = tmp_path / "out"
+        self._partial_then_corrupt(out, monkeypatch)
+        with pytest.raises(QueueCorruptError, match="--salvage"):
+            run_sharded(out)
+
+    def test_salvage_rebuilds_and_completes(
+        self, serial, tmp_path, monkeypatch
+    ):
+        out = tmp_path / "out"
+        path = self._partial_then_corrupt(out, monkeypatch)
+        plan, matrices, _, stats = run_sharded(out, salvage=True)
+        assert stats["done_units"] == plan.n_units
+        assert_matches_serial(serial, matrices)
+        assert os.path.exists(path + ".corrupt")  # moved aside, kept
+
+
+CLI_FLAGS = [
+    "--methods", "self", "--nodes", "2", "--ppn", "1",
+    "--group-size", "2", "--iters", "4", "--ckpt-every", "2",
+    "--max-occurrences", "1", "--seed", str(SEED), "--no-progress",
+]
+
+
+def cli(*extra, env_extra=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    env.pop(FAULTS_ENV, None)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "chaos", *CLI_FLAGS, *extra],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestCLIExitContract:
+    """The exit-code contract documented in docs/CHAOS.md: 0 clean,
+    1 findings, 2 infra misuse/corruption, 3 resumable abort."""
+
+    def test_malformed_fault_spec_is_exit_2_not_a_crash_loop(
+        self, tmp_path
+    ):
+        res = cli(
+            "--shards", "2", "--out", str(tmp_path / "out"),
+            env_extra={FAULTS_ENV: "explode:when=now"},
+        )
+        assert res.returncode == 2
+        assert FAULTS_ENV in res.stderr
+        assert "explode" in res.stderr
+
+    def test_salvage_without_resume_is_a_usage_error(self, tmp_path):
+        res = cli(
+            "--shards", "2", "--out", str(tmp_path / "out"), "--salvage"
+        )
+        assert res.returncode == 2
+        assert "--resume" in res.stderr
+
+    def test_quarantine_surfaces_on_stdout_and_campaign_succeeds(
+        self, tmp_path, the_plan
+    ):
+        victim = the_plan.n_units // 2
+        out = tmp_path / "out"
+        res = cli(
+            "--shards", "2", "--out", str(out),
+            "--respawn", "10", "--attempts-cap", "2",
+            env_extra={FAULTS_ENV: f"poison:ord={victim},worker=all"},
+        )
+        assert res.returncode in (0, 1), res.stderr
+        assert "quarantined" in res.stdout
+        assert str(victim) in res.stdout
+        assert "respawned" in res.stdout
+
+
+def test_poison_exit_code_is_observable():
+    """Torture bookkeeping: poison deaths are distinguishable from kill
+    deaths by exit code, so the CI job can assert which fault fired."""
+    assert POISON_EXIT_CODE != 0
