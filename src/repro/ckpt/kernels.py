@@ -1,0 +1,411 @@
+"""Batched GF(2^8) encode/decode kernels behind selectable backends.
+
+The RAID-6 hot loops (:class:`repro.ckpt.raid6.RSCodec` and the stripe
+paths in :mod:`repro.ckpt.stripes_rs`) funnel through three primitives:
+
+``xor_fold(rows, out)``
+    ``out = rows[0] ^ rows[1] ^ ...`` — the P parity.
+``gpow_fold(rows, exps, out)``
+    ``out = g^e0*rows[0] ^ g^e1*rows[1] ^ ...`` with strictly increasing
+    exponents — the Q parity (``exps = 0..k-1``) and the decode syndromes
+    (arbitrary surviving exponents).
+``scale(c, v, out)``
+    ``out = c*v`` for an arbitrary field constant — the final division in
+    the 1-loss-via-Q and 2-loss solves.
+
+Three interchangeable backends implement them, selected through the
+``REPRO_KERNEL_BACKEND`` environment variable (``numpy`` | ``reference``
+| ``numba`` | ``auto``); all produce byte-identical output, which the
+equivalence suite in ``tests/ckpt/test_kernels.py`` enforces.
+
+``numpy`` (default)
+    Bitsliced Horner evaluation.  Eight bytes are packed per ``uint64``
+    lane and the whole-vector multiply-by-``g`` is five SIMD-friendly
+    ops (shift/mask/xor) instead of a 256-entry table gather:
+
+        hi   = (v >> 7) & 0x0101...01     # the bytes about to overflow
+        v    = ((v & 0x7f7f...7f) << 1) ^ hi * 0x1d
+
+    Q then folds by Horner's rule from the highest exponent down —
+    ``Q = D_0 ^ g*(D_1 ^ g*(D_2 ^ ...))`` — so the only per-row work is
+    one xor plus ``gap`` cheap multiplies (the gap between consecutive
+    exponents), never a per-constant gather.  Below
+    ``bitslice_min_bytes`` (numpy per-call overhead dominates at
+    protocol-size stripes) the fold drops back to the cached-table
+    gathers, byte-identically.
+``reference``
+    The pre-batching formulation — one 256-entry table gather per row via
+    :meth:`GF256.vec_mul_xor` — kept as the semantic oracle.
+``numba``
+    Optional compiled backend (lazily imported; never required).  Uses
+    the ISA-L/SSSE3 low/high-nibble split-table decomposition
+    ``c*v = lo_tbl[v & 0xF] ^ hi_tbl[v >> 4]`` — 16-entry tables per
+    constant, the formulation pshufb-style hardware wants — fused into
+    single-pass P+Q jitted loops.  Per-element table lookups are a
+    pessimization under plain numpy (no pshufb equivalent), which is why
+    this decomposition lives only behind the compiled backend.
+
+Backend objects are stateless apart from cached tables/compiled
+functions; :func:`get_kernels` memoizes the process-wide active backend
+and :func:`use_backend` swaps it (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache as _lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Environment variable naming the backend: numpy | reference | numba | auto.
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Stripe sizes below this use the table-gather fold even on the numpy
+#: backend: the bitsliced pass is ~6 numpy calls per row and per-call
+#: overhead swamps the arithmetic under ~4 KiB (measured crossover).
+BITSLICE_MIN_BYTES = 4096
+
+_MASK7 = np.uint64(0x7F7F7F7F7F7F7F7F)
+_LSB = np.uint64(0x0101010101010101)
+_POLY64 = np.uint64(0x1D)
+_POLY8 = np.uint8(0x1D)
+_ONE = np.uint64(1)
+_SEVEN = np.uint64(7)
+
+
+def _gf():
+    # lazy: raid6 imports this module at its top, so the reverse import
+    # must wait until call time
+    from repro.ckpt.raid6 import _GF
+
+    return _GF
+
+
+class _Lanes:
+    """A uint8 vector split into uint64 lanes plus a ragged uint8 tail.
+
+    numpy permits the zero-copy ``view(np.uint64)`` at any byte offset as
+    long as the viewed length is a multiple of 8, so the head covers the
+    largest such prefix and the tail (< 8 bytes) runs the same recurrence
+    in uint8.  Both forms compute exact field arithmetic, so head/tail
+    splitting can never change a byte.
+    """
+
+    __slots__ = ("head", "tail", "_hs", "_ts")
+
+    def __init__(self, v: np.ndarray) -> None:
+        n8 = v.size & ~7
+        head: Optional[np.ndarray] = None
+        if n8:
+            try:
+                head = v[:n8].view(np.uint64)
+            except ValueError:  # non-contiguous caller buffer: stay uint8
+                n8 = 0
+        self.head = head
+        self.tail = v[n8:]
+        self._hs = None if head is None else np.empty_like(head)
+        self._ts = np.empty_like(self.tail)
+
+    def gmul(self) -> None:
+        """In-place multiply of every byte by the generator g = 0x02."""
+        h, hs = self.head, self._hs
+        if h is not None:
+            assert hs is not None
+            np.right_shift(h, _SEVEN, out=hs)
+            hs &= _LSB
+            h &= _MASK7
+            h <<= _ONE
+            hs *= _POLY64
+            h ^= hs
+        t, ts = self.tail, self._ts
+        if t.size:
+            np.right_shift(t, 7, out=ts)
+            t <<= 1
+            ts *= _POLY8
+            t ^= ts
+
+
+class KernelBackend:
+    """Interface every kernel backend implements (byte-identical output)."""
+
+    name = "abstract"
+
+    def xor_fold(self, rows: Sequence[np.ndarray], out: np.ndarray) -> None:
+        """``out = rows[0] ^ rows[1] ^ ...`` (P parity)."""
+        np.copyto(out, rows[0])
+        for r in rows[1:]:
+            np.bitwise_xor(out, r, out=out)
+
+    def gpow_fold(
+        self, rows: Sequence[np.ndarray], exps: Sequence[int], out: np.ndarray
+    ) -> None:
+        """``out = XOR_i g^exps[i] * rows[i]`` (exps strictly increasing)."""
+        raise NotImplementedError
+
+    def encode_pq(
+        self, rows: Sequence[np.ndarray], out_p: np.ndarray, out_q: np.ndarray
+    ) -> None:
+        """Fused P+Q: ``out_p = xor_fold(rows)``, ``out_q = gpow_fold(rows, 0..k-1)``."""
+        self.xor_fold(rows, out_p)
+        self.gpow_fold(rows, range(len(rows)), out_q)
+
+    def scale(self, c: int, v: np.ndarray, out: np.ndarray) -> None:
+        """``out = c * v`` for a field constant ``c`` (``out is v`` allowed)."""
+        raise NotImplementedError
+
+
+class ReferenceKernels(KernelBackend):
+    """The pre-batching per-row table-gather loops — the semantic oracle."""
+
+    name = "reference"
+
+    def gpow_fold(
+        self, rows: Sequence[np.ndarray], exps: Sequence[int], out: np.ndarray
+    ) -> None:
+        gf = _gf()
+        out[:] = 0
+        for r, e in zip(rows, exps):
+            gf.vec_mul_xor(gf.pow_g(e), r, out)
+
+    def scale(self, c: int, v: np.ndarray, out: np.ndarray) -> None:
+        gf = _gf()
+        if out is v:
+            np.copyto(out, gf.vec_mul(c, v))
+        else:
+            gf.vec_mul(c, v, out=out)
+
+
+class NumpyKernels(KernelBackend):
+    """Bitsliced uint64 Horner folds (default; see module docstring)."""
+
+    name = "numpy"
+
+    def __init__(self, bitslice_min_bytes: int = BITSLICE_MIN_BYTES) -> None:
+        self.bitslice_min_bytes = bitslice_min_bytes
+
+    def gpow_fold(
+        self, rows: Sequence[np.ndarray], exps: Sequence[int], out: np.ndarray
+    ) -> None:
+        if out.size < self.bitslice_min_bytes:
+            ReferenceKernels.gpow_fold(self, rows, exps, out)  # type: ignore[arg-type]
+            return
+        exps = list(exps)
+        # Horner from the highest exponent down: between consecutive rows
+        # multiply by g once per exponent gap, then a final e_min lift.
+        np.copyto(out, rows[-1])
+        lanes = _Lanes(out)
+        prev = exps[-1]
+        for i in range(len(rows) - 2, -1, -1):
+            for _ in range(prev - exps[i]):
+                lanes.gmul()
+            np.bitwise_xor(out, rows[i], out=out)
+            prev = exps[i]
+        for _ in range(prev):
+            lanes.gmul()
+
+    def scale(self, c: int, v: np.ndarray, out: np.ndarray) -> None:
+        c = int(c)
+        if c == 0:
+            out[:] = 0
+            return
+        if c == 1:
+            if out is not v:
+                np.copyto(out, v)
+            return
+        if out.size < self.bitslice_min_bytes:
+            ReferenceKernels.scale(self, c, v, out)  # type: ignore[arg-type]
+            return
+        # c*v = XOR of g^i*v over the set bits of c: walk a running
+        # g^i*v and fold the selected powers (8 cheap passes beats the
+        # 256-entry gather at MB scale)
+        run = np.array(v, copy=True)
+        lanes = _Lanes(run)
+        first = True
+        while c:
+            if c & 1:
+                if first:
+                    np.copyto(out, run)
+                    first = False
+                else:
+                    np.bitwise_xor(out, run, out=out)
+            c >>= 1
+            if c:
+                lanes.gmul()
+
+
+class NumbaKernels(KernelBackend):
+    """Compiled split-table backend (lazy ``numba`` import; opt-in)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        import numba  # confined here by the simlint kernel-backend rule
+
+        self._njit = numba.njit
+        self._tables: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._fns: Optional[Tuple[Callable, Callable, Callable]] = None
+
+    def _tables_for(self, c: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The 16-entry low/high-nibble product tables for constant ``c``:
+        ``c*v = lo[v & 0xF] ^ hi[v >> 4]`` (GF addition is xor and the
+        nibbles partition the byte, so the split is exact)."""
+        cached = self._tables.get(c)
+        if cached is not None:
+            return cached
+        gf = _gf()
+        lo = np.empty(16, dtype=np.uint8)
+        hi = np.empty(16, dtype=np.uint8)
+        for x in range(16):
+            lo[x] = gf.mul(c, x)
+            hi[x] = gf.mul(c, x << 4)
+        lo.setflags(write=False)
+        hi.setflags(write=False)
+        self._tables[c] = (lo, hi)
+        return lo, hi
+
+    def _compiled(self) -> Tuple[Callable, Callable, Callable]:
+        if self._fns is not None:
+            return self._fns
+        njit = self._njit
+
+        def xor_into(out, v):  # pragma: no cover - jitted
+            for i in range(out.shape[0]):
+                out[i] ^= v[i]
+
+        def scale_into(out, v, lo, hi, accumulate):  # pragma: no cover - jitted
+            for i in range(out.shape[0]):
+                x = v[i]
+                y = lo[x & 0xF] ^ hi[x >> 4]
+                if accumulate:
+                    out[i] ^= y
+                else:
+                    out[i] = y
+
+        def encode_row(p, q, v, lo, hi):  # pragma: no cover - jitted
+            for i in range(p.shape[0]):
+                x = v[i]
+                p[i] ^= x
+                q[i] ^= lo[x & 0xF] ^ hi[x >> 4]
+
+        jit = njit(nogil=True, cache=False)
+        self._fns = (jit(xor_into), jit(scale_into), jit(encode_row))
+        return self._fns
+
+    def xor_fold(self, rows: Sequence[np.ndarray], out: np.ndarray) -> None:
+        xor_into, _, _ = self._compiled()
+        np.copyto(out, rows[0])
+        for r in rows[1:]:
+            xor_into(out, r)
+
+    def gpow_fold(
+        self, rows: Sequence[np.ndarray], exps: Sequence[int], out: np.ndarray
+    ) -> None:
+        _, scale_into, _ = self._compiled()
+        gf = _gf()
+        for i, (r, e) in enumerate(zip(rows, exps)):
+            lo, hi = self._tables_for(gf.pow_g(e))
+            scale_into(out, r, lo, hi, i > 0)
+
+    def encode_pq(
+        self, rows: Sequence[np.ndarray], out_p: np.ndarray, out_q: np.ndarray
+    ) -> None:
+        _, scale_into, encode_row = self._compiled()
+        gf = _gf()
+        np.copyto(out_p, rows[0])
+        lo, hi = self._tables_for(gf.pow_g(0))
+        scale_into(out_q, rows[0], lo, hi, False)
+        for j in range(1, len(rows)):
+            lo, hi = self._tables_for(gf.pow_g(j))
+            encode_row(out_p, out_q, rows[j], lo, hi)
+
+    def scale(self, c: int, v: np.ndarray, out: np.ndarray) -> None:
+        c = int(c)
+        if c == 0:
+            out[:] = 0
+            return
+        if c == 1:
+            if out is not v:
+                np.copyto(out, v)
+            return
+        _, scale_into, _ = self._compiled()
+        lo, hi = self._tables_for(c)
+        # same-index read-then-write, so out aliasing v is safe
+        scale_into(out, v, lo, hi, False)
+
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "numpy": NumpyKernels,
+    "reference": ReferenceKernels,
+    "numba": NumbaKernels,
+}
+
+#: backend installed by :func:`use_backend`; the hot path only reads it
+_override: Optional[KernelBackend] = None
+
+
+def numba_available() -> bool:
+    """True when the optional compiled backend can be imported."""
+    try:
+        import numba  # noqa: F401  (lazy probe; confined to this module)
+    except Exception:
+        return False
+    return True
+
+
+def available_backends() -> List[str]:
+    """Backend names usable in this environment, default first."""
+    names = ["numpy", "reference"]
+    if numba_available():
+        names.append("numba")
+    return names
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve an explicit name or the ``REPRO_KERNEL_BACKEND`` setting."""
+    raw = name if name is not None else os.environ.get(BACKEND_ENV, "")
+    raw = (raw or "numpy").strip().lower()
+    if raw == "auto":
+        return "numba" if numba_available() else "numpy"
+    if raw not in _FACTORIES:
+        raise ValueError(
+            f"unknown GF(256) kernel backend {raw!r} (via {BACKEND_ENV}): "
+            f"choose one of {', '.join(sorted(_FACTORIES))}, or 'auto'"
+        )
+    return raw
+
+
+def make_backend(name: Optional[str] = None) -> KernelBackend:
+    """Construct a backend by name (``None`` reads the environment)."""
+    resolved = resolve_backend_name(name)
+    try:
+        return _FACTORIES[resolved]()
+    except ImportError as exc:
+        raise RuntimeError(
+            f"kernel backend {resolved!r} selected via {BACKEND_ENV} but its "
+            f"compiled dependency is not importable: {exc}"
+        ) from exc
+
+
+@_lru_cache(maxsize=None)
+def _default_backend() -> KernelBackend:
+    """The backend the environment selects, resolved once per process."""
+    return make_backend(None)
+
+
+def get_kernels() -> KernelBackend:
+    """The process-wide active backend (resolved once, lazily).
+
+    Pure read on the hot path: the environment-selected default is an
+    ``lru_cache`` singleton and :func:`use_backend` overrides are only
+    ever written outside the encode/decode kernels.
+    """
+    return _override if _override is not None else _default_backend()
+
+
+def use_backend(name: Optional[str] = None) -> KernelBackend:
+    """Install (and return) the active backend; ``None`` re-reads the
+    environment.  For tests and benchmarks."""
+    global _override
+    _override = make_backend(name)
+    return _override

@@ -11,14 +11,20 @@ primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D):
     P = D_0 ^ D_1 ^ ... ^ D_{n-1}
     Q = g^0*D_0 ^ g^1*D_1 ^ ... ^ g^{n-1}*D_{n-1},   g = 0x02
 
-All byte-wise operations are vectorized through numpy lookup tables.
+All byte-wise operations are vectorized: scalar helpers and the small-
+stripe paths go through numpy lookup tables, while the batched encode and
+decode folds run on the selectable kernels in :mod:`repro.ckpt.kernels`
+(bitsliced uint64 Horner by default, optional compiled backend via
+``REPRO_KERNEL_BACKEND``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.ckpt import kernels as _kernels
 
 
 class GF256:
@@ -74,17 +80,37 @@ class GF256:
         256x256 table; no allocation)."""
         return self._mul_table[c]
 
-    def vec_mul(self, c: int, v: np.ndarray) -> np.ndarray:
-        """Scale a uint8 vector by the field constant ``c``."""
+    def vec_mul(
+        self, c: int, v: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Scale a uint8 vector by the field constant ``c``.
+
+        With ``out=`` the product is written in place and ``out`` is
+        returned — including for the trivial constants, so ``c == 1``
+        into a distinct ``out`` is a copy and into ``out is v`` a no-op
+        (no defensive allocation on hot paths).
+        """
         if v.dtype != np.uint8:
             raise TypeError("GF256 vectors are uint8")
+        if out is None:
+            if c == 0:
+                return np.zeros_like(v)
+            if c == 1:
+                return v.copy()
+            # ndarray.take is measurably faster than fancy indexing here:
+            # it skips the index-array promotion to intp that row[v] pays
+            return self._mul_table[c].take(v)
         if c == 0:
-            return np.zeros_like(v)
-        if c == 1:
-            return v.copy()
-        # ndarray.take is measurably faster than fancy indexing here: it
-        # skips the index-array promotion to intp that row[v] pays
-        return self._mul_table[c].take(v)
+            out[:] = 0
+        elif c == 1:
+            if out is not v:
+                np.copyto(out, v)
+        elif out is v:
+            # take() with an out that aliases its index array is undefined
+            np.copyto(out, self._mul_table[c].take(v))
+        else:
+            self._mul_table[c].take(v, out=out)
+        return out
 
     def vec_mul_xor(self, c: int, v: np.ndarray, acc: np.ndarray) -> None:
         """In-place ``acc ^= c*v`` — the encode inner loop, without the
@@ -109,15 +135,25 @@ class RSCodec:
         self.group_size = group_size
         self.gf = _GF
 
-    def encode(self, buffers: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
-        """Compute the (P, Q) parity pair for ``buffers``."""
+    def encode(
+        self,
+        buffers: Sequence[np.ndarray],
+        out_p: Optional[np.ndarray] = None,
+        out_q: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute the (P, Q) parity pair for ``buffers``.
+
+        ``out_p``/``out_q`` accept preallocated uint8 arrays (e.g. rows of
+        a parity matrix) so the batched stripe paths allocate nothing per
+        row; the pair written (or allocated) is returned either way.
+        """
         self._check(buffers)
-        p = np.zeros_like(buffers[0])
-        q = np.zeros_like(buffers[0])
-        for j, d in enumerate(buffers):
-            p ^= d
-            self.gf.vec_mul_xor(self.gf.pow_g(j), d, q)
-        return p, q
+        if out_p is None:
+            out_p = np.empty_like(buffers[0])
+        if out_q is None:
+            out_q = np.empty_like(buffers[0])
+        _kernels.get_kernels().encode_pq(buffers, out_p, out_q)
+        return out_p, out_q
 
     def _check(self, buffers: Sequence[np.ndarray]) -> None:
         if len(buffers) != self.group_size:
@@ -134,6 +170,7 @@ class RSCodec:
         survivors: Dict[int, np.ndarray],
         p: np.ndarray | None,
         q: np.ndarray | None,
+        out: Optional[Dict[int, np.ndarray]] = None,
     ) -> Dict[int, np.ndarray]:
         """Recover up to two lost data buffers.
 
@@ -141,6 +178,11 @@ class RSCodec:
         are the parities (pass ``None`` for a lost parity).  Handles every
         RAID-6 erasure case: one data loss (via P or Q), two data losses
         (via P and Q), and data+parity losses.
+
+        ``out`` optionally maps missing indices to preallocated result
+        buffers (e.g. stripe views of a rebuilt member) — each recovered
+        vector is written through the provided array, so reconstruction
+        never copies stripes twice.
 
         Returns ``{index: recovered buffer}`` for each missing data index.
         """
@@ -155,20 +197,34 @@ class RSCodec:
         if not missing:
             return {}
         gf = self.gf
+        kern = _kernels.get_kernels()
+        surv_idx = sorted(survivors)
+        surv_rows = [survivors[j] for j in surv_idx]
+        template = surv_rows[0] if surv_rows else (p if p is not None else q)
+        assert template is not None
+
+        def _out(idx: int) -> np.ndarray:
+            if out is not None and idx in out:
+                return out[idx]
+            return np.empty_like(template)
 
         if len(missing) == 1:
             x = missing[0]
+            res = _out(x)
             if p is not None:
-                acc = p.copy()
-                for j, d in survivors.items():
-                    acc ^= d
-                return {x: acc}
+                # one reduce over the stacked survivors+parity, not a
+                # Python loop of in-place xors
+                np.bitwise_xor.reduce(np.stack([p, *surv_rows]), axis=0, out=res)
+                return {x: res}
             # recover through Q: D_x = (Q ^ sum g^j D_j) / g^x
             assert q is not None
-            acc = q.copy()
-            for j, d in survivors.items():
-                gf.vec_mul_xor(gf.pow_g(j), d, acc)
-            return {x: gf.vec_mul(gf.inv(gf.pow_g(x)), acc)}
+            if surv_rows:
+                kern.gpow_fold(surv_rows, surv_idx, res)
+                np.bitwise_xor(res, q, out=res)
+            else:
+                np.copyto(res, q)
+            kern.scale(gf.inv(gf.pow_g(x)), res, res)
+            return {x: res}
 
         # two data losses: solve
         #   D_x ^ D_y                 = P'   (P minus survivors)
@@ -176,15 +232,22 @@ class RSCodec:
         if p is None or q is None:
             raise ValueError("two data losses need both parities")
         x, y = missing
-        pp = p.copy()
-        qq = q.copy()
-        for j, d in survivors.items():
-            pp ^= d
-            gf.vec_mul_xor(gf.pow_g(j), d, qq)
+        res_x, res_y = _out(x), _out(y)
+        # P' lands in res_y (it finishes as D_y), Q' in a scratch vector
+        np.bitwise_xor.reduce(np.stack([p, *surv_rows]), axis=0, out=res_y)
+        qq = np.empty_like(res_y)
+        if surv_rows:
+            kern.gpow_fold(surv_rows, surv_idx, qq)
+            np.bitwise_xor(qq, q, out=qq)
+        else:
+            np.copyto(qq, q)
         gx, gy = gf.pow_g(x), gf.pow_g(y)
         denom = gx ^ gy  # g^x + g^y in GF(2^8)
         a = gf.div(gy, denom)
         b = gf.inv(denom)
-        dx = gf.vec_mul(a, pp) ^ gf.vec_mul(b, qq)
-        dy = pp ^ dx
-        return {x: dx, y: dy}
+        # D_x = a*P' ^ b*Q';  D_y = P' ^ D_x
+        kern.scale(a, res_y, res_x)
+        kern.scale(b, qq, qq)
+        np.bitwise_xor(res_x, qq, out=res_x)
+        np.bitwise_xor(res_y, res_x, out=res_y)
+        return {x: res_x, y: res_y}

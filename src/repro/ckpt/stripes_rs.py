@@ -24,10 +24,19 @@ once per group size and cached as a :class:`GroupLayout` (the hot encode
 path previously re-derived it with O(N^2) scans per stripe lookup).  The
 per-group-size :class:`~repro.ckpt.raid6.RSCodec` is likewise cached —
 construction is cheap but the encode/decode paths run once per row per
-checkpoint, so nothing worth hoisting is left inside the loops.  Stripe
-access (:func:`_stripe`) is a zero-copy numpy view end-to-end: encode
-reads views of the member buffers and reconstruction writes through views
-of the rebuilt ones.
+checkpoint, so nothing worth hoisting is left inside the loops.
+
+The hot paths are zero-copy and matrix-form end-to-end: each member
+buffer is reshaped **once** into an ``(n_stripes, stripe_size)`` view
+(no bytes move — ``padded_size_rs`` guarantees the alignment), encode
+writes every row's (P, Q) directly into two preallocated ``(N,
+stripe_size)`` parity matrices via ``RSCodec.encode(out_p=, out_q=)``,
+and reconstruction decodes straight through stripe views of the rebuilt
+member buffers via ``RSCodec.decode(out=)``.  The returned parity
+stripes are row views of the shared matrices; callers that persist them
+(:meth:`repro.ckpt.self_rs.SelfCheckpointRS._pack_parity`) copy into
+their own storage.  The underlying GF(2^8) kernels are selectable via
+``REPRO_KERNEL_BACKEND`` (see :mod:`repro.ckpt.kernels`).
 
 Space
 -----
@@ -150,13 +159,22 @@ def _stripe(buf: np.ndarray, idx: int, n_stripes: int) -> np.ndarray:
     return buf[idx * size : (idx + 1) * size]
 
 
+def _stripe_matrix(buf: np.ndarray, n_stripes: int) -> np.ndarray:
+    """One zero-copy ``(n_stripes, stripe_size)`` view of a member buffer:
+    row ``i`` is data stripe ``i``.  Replaces ``n_stripes`` separate
+    :func:`_stripe` slices on the hot paths."""
+    return buf.reshape(n_stripes, len(buf) // n_stripes)
+
+
 def build_parity(
     buffers: Sequence[np.ndarray], group_size: int
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
     """Compute (P stripe, Q stripe) hosted by each member.
 
     ``buffers[j]`` is member ``j``'s padded uint8 buffer.  Member ``j``
-    hosts P of row ``j`` and Q of row ``j-1 mod N``.
+    hosts P of row ``j`` and Q of row ``j-1 mod N``.  The returned
+    stripes are row views of two parity matrices allocated here — the
+    only allocations this function makes.
     """
     n = group_size
     if len(buffers) != n:
@@ -167,23 +185,19 @@ def build_parity(
     layout = layout_for(n)
     n_stripes = n - 2
     codec = codec_for(n_stripes)
+    stripe_size = size // n_stripes
 
-    row_p: Dict[int, np.ndarray] = {}
-    row_q: Dict[int, np.ndarray] = {}
+    mats = [_stripe_matrix(b, n_stripes) for b in buffers]
+    pmat = np.empty((n, stripe_size), dtype=np.uint8)
+    qmat = np.empty((n, stripe_size), dtype=np.uint8)
     for row in range(n):
         _, _, data_members = layout.rows[row]
         contributions = [
-            _stripe(buffers[j], layout.stripe_of[(j, row)], n_stripes)
-            for j in data_members
+            mats[j][layout.stripe_of[(j, row)]] for j in data_members
         ]
-        p, q = codec.encode(contributions)
-        row_p[row] = p
-        row_q[row] = q
+        codec.encode(contributions, out_p=pmat[row], out_q=qmat[row])
 
-    out = []
-    for member in range(n):
-        out.append((row_p[member], row_q[(member - 1) % n]))
-    return out
+    return [(pmat[member], qmat[(member - 1) % n]) for member in range(n)]
 
 
 def _stripe_index_of(member: int, row: int, group_size: int) -> int:
@@ -229,9 +243,16 @@ def reconstruct_rs(
     stripe_size = size // n_stripes
     codec = codec_for(n_stripes)
 
-    rebuilt_bufs = {m: np.zeros(size, dtype=np.uint8) for m in missing}
+    rebuilt_mats = {
+        m: np.empty((n_stripes, stripe_size), dtype=np.uint8) for m in missing
+    }
+    surv_mats = {j: _stripe_matrix(b, n_stripes) for j, b in survivors.items()}
     rebuilt_p: Dict[int, np.ndarray] = {}
     rebuilt_q: Dict[int, np.ndarray] = {}
+    # scratch stripes for the parity halves re-encode must produce but a
+    # survivor still holds (encode always computes the (P, Q) pair)
+    p_scratch = np.empty(stripe_size, dtype=np.uint8)
+    q_scratch = np.empty(stripe_size, dtype=np.uint8)
 
     for row in range(n):
         p_holder, q_holder, data_members = layout.rows[row]
@@ -246,35 +267,42 @@ def reconstruct_rs(
             else None
         )
         present: Dict[int, np.ndarray] = {}
-        lost_positions: Dict[int, int] = {}  # codec position -> member
+        lost_views: Dict[int, np.ndarray] = {}  # codec position -> out stripe
         for pos, j in enumerate(data_members):
             if j in missing:
-                lost_positions[pos] = j
+                lost_views[pos] = rebuilt_mats[j][layout.stripe_of[(j, row)]]
             else:
-                present[pos] = _stripe(
-                    survivors[j], layout.stripe_of[(j, row)], n_stripes
-                )
-        decoded = codec.decode(present, p, q)
-        for pos, member in lost_positions.items():
-            idx = layout.stripe_of[(member, row)]
-            _stripe(rebuilt_bufs[member], idx, n_stripes)[:] = decoded[pos]
+                present[pos] = surv_mats[j][layout.stripe_of[(j, row)]]
+        # decode writes straight through the rebuilt members' stripe views
+        decoded = codec.decode(present, p, q, out=lost_views)
         # recompute lost parity stripes from the (now complete) row data
         if p is None or q is None:
             full = [
                 decoded[pos] if pos in decoded else present[pos]
                 for pos in range(n_stripes)
             ]
-            new_p, new_q = codec.encode(full)
             if p is None:
-                rebuilt_p[p_holder] = new_p
+                out_p = rebuilt_p.setdefault(
+                    p_holder, np.empty(stripe_size, dtype=np.uint8)
+                )
+            else:
+                out_p = p_scratch
             if q is None:
-                rebuilt_q[q_holder] = new_q
+                out_q = rebuilt_q.setdefault(
+                    q_holder, np.empty(stripe_size, dtype=np.uint8)
+                )
+            else:
+                out_q = q_scratch
+            codec.encode(full, out_p=out_p, out_q=out_q)
 
     out: Dict[int, Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]] = {}
     for m in missing:
-        p_stripe = rebuilt_p.get(m, np.zeros(stripe_size, dtype=np.uint8))
-        q_stripe = rebuilt_q.get(m, np.zeros(stripe_size, dtype=np.uint8))
-        out[m] = (rebuilt_bufs[m], (p_stripe, q_stripe))
+        # member m hosts P of row m and Q of row m-1, and both rows saw
+        # that parity as lost, so the row loop always rebuilt the pair
+        assert m in rebuilt_p and m in rebuilt_q, (
+            f"row loop failed to rebuild member {m}'s parity stripes"
+        )
+        out[m] = (rebuilt_mats[m].reshape(-1), (rebuilt_p[m], rebuilt_q[m]))
     return out
 
 
@@ -295,15 +323,18 @@ def verify_group_rs(
     layout = layout_for(n)
     n_stripes = n - 2
     codec = codec_for(n_stripes)
+    stripe_size = len(buffers[0]) // n_stripes
+    mats = [_stripe_matrix(b, n_stripes) for b in buffers]
+    p_buf = np.empty(stripe_size, dtype=np.uint8)
+    q_buf = np.empty(stripe_size, dtype=np.uint8)
     for row in range(n):
         p_holder, q_holder, data_members = layout.rows[row]
         contributions = [
-            _stripe(buffers[j], layout.stripe_of[(j, row)], n_stripes)
-            for j in data_members
+            mats[j][layout.stripe_of[(j, row)]] for j in data_members
         ]
-        p, q = codec.encode(contributions)
-        if not np.array_equal(p, parity[p_holder][0]):
+        codec.encode(contributions, out_p=p_buf, out_q=q_buf)
+        if not np.array_equal(p_buf, parity[p_holder][0]):
             return False
-        if not np.array_equal(q, parity[q_holder][1]):
+        if not np.array_equal(q_buf, parity[q_holder][1]):
             return False
     return True

@@ -438,7 +438,11 @@ def perf_trend_rows(
     ok = True
     for rec in _bench_records(store, "perf_kernels"):
         rid = _sha8(rec)
-        for group, key in (("gf_vec_mul", "size"), ("rs_encode", "stripe_bytes")):
+        for group, key in (
+            ("gf_vec_mul", "size"),
+            ("rs_encode", "stripe_bytes"),
+            ("matrix_encode", "stripe_bytes"),
+        ):
             base_rows = (baseline or {}).get(group, [])
             base_by_key = {b[key]: b for b in base_rows}
             for cur in rec.get(group, []):
@@ -460,6 +464,23 @@ def perf_trend_rows(
                     ]
                 )
     return rows, ok
+
+
+def throughput_trend_rows(store: TraceStore) -> List[List[str]]:
+    """Kernel-throughput trajectory from the perf records' host metrics.
+
+    Renders every ``host_metrics`` gauge a stored ``BENCH_perf.json``
+    carries (``ckpt.encode_bytes_per_s`` / ``ckpt.decode_bytes_per_s``);
+    absolute bytes/s are hardware-bound, so these rows track, they do
+    not gate — the ratio gate above is the regression check.
+    """
+    rows: List[List[str]] = []
+    for rec in _bench_records(store, "perf_kernels"):
+        rid = _sha8(rec)
+        metrics = rec.get("host_metrics", {})
+        for name in sorted(metrics):
+            rows.append([rid, name, _fmt(float(metrics[name]) / 1e9)])
+    return rows
 
 
 def _sha8(doc: Dict[str, Any]) -> str:
@@ -520,6 +541,15 @@ def trend_report(
                 perf_rows,
                 title=f"perf speedup ratios (floor = baseline / "
                 f"{TREND_REGRESSION_FACTOR})",
+            )
+        )
+    tput_rows = throughput_trend_rows(store)
+    if tput_rows:
+        parts.append(
+            render_table(
+                ["record", "metric", "GB/s"],
+                tput_rows,
+                title="kernel throughput (host wall-clock, informational)",
             )
         )
     obs_rows = obs_trend_rows(store)

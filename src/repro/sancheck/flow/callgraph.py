@@ -415,10 +415,25 @@ class _FunctionScanner(ast.NodeVisitor):
         elif isinstance(func, ast.Attribute):
             resolved = self._resolve_attribute(func, lineno, has_args)
         if not resolved and isinstance(func, ast.Attribute):
-            self.fn.method_calls.append((func.attr, lineno))
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
             dotted = self.imports.resolve(func)
-            if dotted is not None:
+            if (
+                dotted is not None
+                and isinstance(root, ast.Name)
+                and root.id in self.imports.aliases
+            ):
+                # the receiver chain is rooted in an imported module
+                # (e.g. ``numpy.bitwise_xor.reduce``): a known library
+                # call, not a method on an unresolved comm/shm object —
+                # classifying it by terminal name would misread ufunc
+                # ``.reduce`` as an MPI collective
                 self.fn.external.append((dotted, lineno, has_args))
+            else:
+                self.fn.method_calls.append((func.attr, lineno))
+                if dotted is not None:
+                    self.fn.external.append((dotted, lineno, has_args))
         elif not resolved and isinstance(func, ast.Name):
             dotted = self.imports.resolve(func)
             if dotted is not None:

@@ -211,3 +211,37 @@ class TestCachedKernel:
         assert np.array_equal(acc, v)
         gf.vec_mul_xor(1, v, acc)  # c=1: plain xor
         assert not acc.any()
+
+
+class TestVecMulOut:
+    """``GF256.vec_mul(c, v, out=...)`` must honor ``out`` for every
+    constant — including the trivial ``c in (0, 1)`` short-circuits —
+    and support ``out is v`` aliasing."""
+
+    @pytest.fixture
+    def gf(self):
+        return GF256()
+
+    @pytest.mark.parametrize("c", [0, 1, 2, 29, 142, 255])
+    def test_out_is_written_and_returned(self, gf, c):
+        v = np.arange(200, dtype=np.uint8)
+        out = np.full(200, 0xEE, dtype=np.uint8)
+        got = gf.vec_mul(c, v, out=out)
+        assert got is out
+        assert np.array_equal(out, gf.vec_mul(c, v))
+
+    @pytest.mark.parametrize("c", [0, 1, 2, 29, 142, 255])
+    def test_out_aliases_input(self, gf, c):
+        v = np.arange(200, dtype=np.uint8)
+        expect = gf.vec_mul(c, v)
+        got = gf.vec_mul(c, v, out=v)
+        assert got is v
+        assert np.array_equal(v, expect)
+
+    def test_input_untouched_when_out_is_separate(self, gf):
+        v = np.arange(64, dtype=np.uint8)
+        snapshot = v.copy()
+        out = np.empty_like(v)
+        for c in (0, 1, 37):
+            gf.vec_mul(c, v, out=out)
+            assert np.array_equal(v, snapshot)

@@ -90,9 +90,9 @@ class TestVerifyShortCircuit:
         calls = {"n": 0}
         real_encode = RSCodec.encode
 
-        def counting_encode(self, buffers):
+        def counting_encode(self, buffers, **kwargs):
             calls["n"] += 1
-            return real_encode(self, buffers)
+            return real_encode(self, buffers, **kwargs)
 
         monkeypatch.setattr(RSCodec, "encode", counting_encode)
         assert not verify_group_rs(bufs, parity, n)
@@ -184,3 +184,46 @@ class TestZeroCopyStripes:
             p, q = parity[m]
             np.testing.assert_array_equal(blob[: p.nbytes], p)
             np.testing.assert_array_equal(blob[p.nbytes :], q)
+
+
+class TestParityRebuild:
+    """Regression tests for the lost-parity rebuild path: a failed
+    member's (P, Q) pair must be re-encoded exactly — the old code
+    silently returned zero-filled parity when the re-encode row loop
+    missed a holder, which is now an assertion instead of a fallback."""
+
+    @pytest.mark.parametrize("lost", range(6))
+    def test_single_loss_rebuilds_exact_parity(self, lost):
+        from repro.ckpt.stripes_rs import reconstruct_rs
+
+        n = 6
+        bufs = _group(n, seed=21)
+        golden = build_parity(bufs, n)
+        survivors = {m: bufs[m] for m in range(n) if m != lost}
+        sp = {m: golden[m] for m in range(n) if m != lost}
+        out = reconstruct_rs(survivors, sp, [lost], n)
+        buf, (p, q) = out[lost]
+        np.testing.assert_array_equal(buf, bufs[lost])
+        np.testing.assert_array_equal(p, golden[lost][0])
+        np.testing.assert_array_equal(q, golden[lost][1])
+        assert p.any() or q.any()  # zero-filled fallback would be caught
+
+    @pytest.mark.parametrize(
+        "missing", [(0, 1), (2, 3), (4, 5), (0, 5), (1, 4)]
+    )
+    def test_double_loss_rebuilds_exact_parity(self, missing):
+        """Includes adjacent pairs, where both parity rows a single
+        stripe row needs (P on m, Q on m+1) are lost together."""
+        from repro.ckpt.stripes_rs import reconstruct_rs
+
+        n = 6
+        bufs = _group(n, seed=22)
+        golden = build_parity(bufs, n)
+        survivors = {m: bufs[m] for m in range(n) if m not in missing}
+        sp = {m: golden[m] for m in range(n) if m not in missing}
+        out = reconstruct_rs(survivors, sp, list(missing), n)
+        for m in missing:
+            buf, (p, q) = out[m]
+            np.testing.assert_array_equal(buf, bufs[m])
+            np.testing.assert_array_equal(p, golden[m][0])
+            np.testing.assert_array_equal(q, golden[m][1])

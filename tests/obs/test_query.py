@@ -16,6 +16,7 @@ from repro.obs.query import (
     run_rows,
     span_rows,
     summary_stats,
+    throughput_trend_rows,
     trend_report,
 )
 from repro.obs.rollup import attempt_payload
@@ -233,6 +234,40 @@ class TestTrend:
     def test_empty_store_renders_placeholder(self):
         text, ok = trend_report(TraceStore(":memory:"), None)
         assert ok and "no bench records" in text
+
+    def test_matrix_encode_group_gates(self):
+        store = TraceStore(":memory:")
+        rec = self._perf_record(5.0)
+        rec["matrix_encode"] = [{"stripe_bytes": 1 << 20, "speedup": 1.0}]
+        store.ingest_bench_record(rec)
+        baseline = self._baseline()
+        baseline["matrix_encode"] = [
+            {"stripe_bytes": 1 << 20, "speedup": 4.0}
+        ]
+        rows, ok = perf_trend_rows(store, baseline)
+        assert not ok
+        matrix = [r for r in rows if r[1].startswith("matrix_encode")]
+        assert matrix and matrix[0][-1] == "REGRESSED"
+
+    def test_throughput_rows_render_host_metrics(self):
+        store = TraceStore(":memory:")
+        rec = self._perf_record(5.0)
+        rec["host_metrics"] = {
+            "ckpt.encode_bytes_per_s": 2.5e9,
+            "ckpt.decode_bytes_per_s": 0.5e9,
+        }
+        store.ingest_bench_record(rec)
+        rows = throughput_trend_rows(store)
+        by_name = {r[1]: r[2] for r in rows}
+        assert by_name["ckpt.encode_bytes_per_s"] == "2.5"
+        assert by_name["ckpt.decode_bytes_per_s"] == "0.5"
+        text, ok = trend_report(store, None)
+        assert ok and "kernel throughput" in text
+
+    def test_throughput_rows_absent_without_host_metrics(self):
+        store = TraceStore(":memory:")
+        store.ingest_bench_record(self._perf_record(5.0))
+        assert throughput_trend_rows(store) == []
 
 
 class TestCliStoreGuard:
